@@ -1,0 +1,92 @@
+//! BENCH-4: ablations over the design choices DESIGN.md calls out —
+//! arbitration policy, buffer depth, and message length.
+//!
+//! Run with: `cargo bench -p wormbench --bench ablation_bench`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use worm_core::paper::fig1;
+use wormnet::topology::Mesh;
+use wormroute::algorithms::dimension_order;
+use wormsim::runner::{ArbitrationPolicy, Runner};
+use wormsim::{traffic, MessageSpec, Sim};
+
+/// Arbitration-policy ablation: wall-clock cost of delivering the same
+/// contended workload under each policy.
+fn bench_arbitration_policies(c: &mut Criterion) {
+    let mesh = Mesh::new(&[5, 5]);
+    let table = dimension_order(&mesh).expect("routes");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let specs = traffic::uniform_random(mesh.network(), &table, &mut rng, 0.15, 60, (4, 8));
+    let sim = Sim::new(mesh.network(), &table, specs, None).expect("routed");
+    let mut group = c.benchmark_group("arbitration_policy");
+    group.sample_size(20);
+    for (name, policy) in [
+        ("lowest_id", ArbitrationPolicy::LowestId),
+        ("round_robin", ArbitrationPolicy::RoundRobin),
+        ("oldest_first", ArbitrationPolicy::OldestFirst),
+        (
+            "adversarial",
+            ArbitrationPolicy::Adversarial { favored: vec![] },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut runner = Runner::new(black_box(&sim), policy.clone());
+                runner.run(1_000_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Buffer-depth ablation on the Figure 1 network: deeper queues change
+/// cost but never the verdict (asserted in tests; measured here).
+fn bench_buffer_depth(c: &mut Criterion) {
+    let con = fig1::cyclic_dependency();
+    let mut group = c.benchmark_group("fig1_buffer_depth");
+    for depth in [1usize, 2, 4, 8] {
+        let sim = Sim::new(&con.net, &con.table, con.message_specs(), Some(depth)).expect("routed");
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut runner = Runner::new(
+                    black_box(&sim),
+                    ArbitrationPolicy::Adversarial { favored: vec![] },
+                );
+                runner.run(10_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Message-length ablation: longer worms on a fixed line pipeline.
+fn bench_message_length(c: &mut Criterion) {
+    let mesh = Mesh::new(&[8, 1]);
+    let table = dimension_order(&mesh).expect("routes");
+    let mut group = c.benchmark_group("message_length_pipeline");
+    for len in [2usize, 8, 32, 128] {
+        let specs = vec![MessageSpec::new(
+            mesh.node(&[0, 0]),
+            mesh.node(&[7, 0]),
+            len,
+        )];
+        let sim = Sim::new(mesh.network(), &table, specs, None).expect("routed");
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                let mut runner = Runner::new(black_box(&sim), ArbitrationPolicy::LowestId);
+                runner.run(100_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arbitration_policies,
+    bench_buffer_depth,
+    bench_message_length
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! BENCH-3: exhaustive reachability-search cost on the paper's
+//! networks.
+//!
+//! Run with: `cargo bench -p wormbench --bench search_bench`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use worm_core::paper::{fig1, fig2, fig3, generalized};
+use wormsearch::{explore, SearchConfig};
+use wormsim::Sim;
+
+fn bench_fig1_search(c: &mut Criterion) {
+    let con = fig1::cyclic_dependency();
+    let sim = Sim::new(&con.net, &con.table, con.message_specs(), Some(1)).expect("routed");
+    c.bench_function("search_fig1_deadlock_freedom", |b| {
+        b.iter(|| explore(black_box(&sim), &SearchConfig::default()));
+    });
+}
+
+fn bench_fig2_search(c: &mut Criterion) {
+    let con = fig2::two_message_deadlock();
+    let sim = Sim::new(&con.net, &con.table, con.message_specs(), Some(1)).expect("routed");
+    c.bench_function("search_fig2_witness", |b| {
+        b.iter(|| explore(black_box(&sim), &SearchConfig::default()));
+    });
+}
+
+fn bench_fig3_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_fig3");
+    group.sample_size(10);
+    for s in fig3::all_scenarios() {
+        let con = s.spec.build();
+        let sim = Sim::new(&con.net, &con.table, s.message_specs(&con), Some(1)).expect("routed");
+        group.bench_function(s.name, |b| {
+            b.iter(|| explore(black_box(&sim), &SearchConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stall_budget(c: &mut Criterion) {
+    let con = generalized::generalized(1);
+    let sim = Sim::new(
+        &con.net,
+        &con.table,
+        generalized::minimum_length_specs(&con),
+        Some(1),
+    )
+    .expect("routed");
+    let mut group = c.benchmark_group("search_with_stall_budget");
+    group.sample_size(10);
+    for budget in [0u32, 1, 2] {
+        group.bench_function(format!("g1_budget_{budget}"), |b| {
+            b.iter(|| {
+                explore(
+                    black_box(&sim),
+                    &SearchConfig {
+                        stall_budget: budget,
+                        max_states: 5_000_000,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_search(c: &mut Criterion) {
+    use wormnet::topology::Mesh;
+    use wormroute::adaptive::{duato_mesh, fully_adaptive_minimal};
+    use wormsearch::adaptive::explore_adaptive;
+    use wormsim::adaptive::AdaptiveSim;
+    use wormsim::MessageSpec;
+
+    let rotation = |mesh: &Mesh, len| {
+        vec![
+            MessageSpec::new(mesh.node(&[0, 0]), mesh.node(&[1, 1]), len),
+            MessageSpec::new(mesh.node(&[1, 0]), mesh.node(&[0, 1]), len),
+            MessageSpec::new(mesh.node(&[1, 1]), mesh.node(&[0, 0]), len),
+            MessageSpec::new(mesh.node(&[0, 1]), mesh.node(&[1, 0]), len),
+        ]
+    };
+    let mut group = c.benchmark_group("adaptive_search");
+    group.sample_size(10);
+    let mesh = Mesh::new(&[2, 2]);
+    let sim = AdaptiveSim::new(
+        mesh.network(),
+        fully_adaptive_minimal(&mesh),
+        rotation(&mesh, 3),
+        Some(1),
+    )
+    .expect("routed");
+    group.bench_function("fully_adaptive_deadlock", |b| {
+        b.iter(|| explore_adaptive(black_box(&sim), 10_000_000));
+    });
+    let mesh2 = Mesh::with_vcs(&[2, 2], 2);
+    let sim2 = AdaptiveSim::new(
+        mesh2.network(),
+        duato_mesh(&mesh2),
+        rotation(&mesh2, 3),
+        Some(1),
+    )
+    .expect("routed");
+    group.bench_function("duato_freedom_proof", |b| {
+        b.iter(|| explore_adaptive(black_box(&sim2), 30_000_000));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_search,
+    bench_fig2_search,
+    bench_fig3_scenarios,
+    bench_stall_budget,
+    bench_adaptive_search
+);
+criterion_main!(benches);

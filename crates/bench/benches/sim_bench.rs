@@ -1,0 +1,98 @@
+//! BENCH-2: flit-level simulator throughput.
+//!
+//! Run with: `cargo bench -p wormbench --bench sim_bench`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use worm_core::paper::fig1;
+use wormnet::topology::Mesh;
+use wormroute::algorithms::dimension_order;
+use wormsim::runner::{ArbitrationPolicy, Runner};
+use wormsim::{traffic, Sim};
+
+fn bench_mesh_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_uniform_traffic");
+    group.sample_size(20);
+    for side in [4usize, 6, 8] {
+        let mesh = Mesh::new(&[side, side]);
+        let table = dimension_order(&mesh).expect("routes");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let specs = traffic::uniform_random(mesh.network(), &table, &mut rng, 0.05, 100, (4, 8));
+        let sim = Sim::new(mesh.network(), &table, specs, None).expect("routed");
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
+            b.iter(|| {
+                let mut runner = Runner::new(black_box(&sim), ArbitrationPolicy::OldestFirst);
+                runner.run(1_000_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig1_run(c: &mut Criterion) {
+    let con = fig1::cyclic_dependency();
+    let sim = Sim::new(&con.net, &con.table, con.message_specs(), Some(1)).expect("routed");
+    c.bench_function("fig1_adversarial_run", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(
+                black_box(&sim),
+                ArbitrationPolicy::Adversarial { favored: vec![] },
+            );
+            runner.run(10_000)
+        });
+    });
+}
+
+fn bench_single_step(c: &mut Criterion) {
+    let mesh = Mesh::new(&[8, 8]);
+    let table = dimension_order(&mesh).expect("routes");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let specs = traffic::uniform_random(mesh.network(), &table, &mut rng, 0.2, 50, (6, 6));
+    let sim = Sim::new(mesh.network(), &table, specs, None).expect("routed");
+    c.bench_function("runner_step_8x8_loaded", |b| {
+        let mut runner = Runner::new(&sim, ArbitrationPolicy::OldestFirst);
+        // Warm the network up so steps are representative.
+        for _ in 0..20 {
+            runner.step();
+        }
+        b.iter(|| runner.step());
+    });
+}
+
+/// Adaptive vs oblivious engines on the same transpose workload.
+fn bench_adaptive_vs_oblivious(c: &mut Criterion) {
+    use wormroute::adaptive::fully_adaptive_minimal;
+    use wormsim::adaptive::{AdaptivePolicy, AdaptiveRunner, AdaptiveSim};
+    let mesh = Mesh::new(&[5, 5]);
+    let specs = traffic::transpose(&mesh, 6);
+
+    let mut group = c.benchmark_group("adaptive_vs_oblivious_transpose");
+    group.sample_size(20);
+    let table = dimension_order(&mesh).expect("routes");
+    let sim = Sim::new(mesh.network(), &table, specs.clone(), None).expect("routed");
+    group.bench_function("oblivious_dor", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(black_box(&sim), ArbitrationPolicy::OldestFirst);
+            runner.run(1_000_000)
+        });
+    });
+    let routing = fully_adaptive_minimal(&mesh);
+    let asim = AdaptiveSim::new(mesh.network(), routing, specs, None).expect("routed");
+    group.bench_function("fully_adaptive", |b| {
+        b.iter(|| {
+            let mut runner = AdaptiveRunner::new(black_box(&asim), AdaptivePolicy::FirstFree);
+            runner.run(1_000_000)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mesh_uniform,
+    bench_fig1_run,
+    bench_single_step,
+    bench_adaptive_vs_oblivious
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! EXP-F2 — Figure 2 / Theorem 4: a channel outside the cycle shared
+//! by exactly two messages always yields a reachable deadlock.
+//!
+//! Regenerates: the deadlock witness schedule and a sweep over access
+//! distances showing the deadlock survives every (d1, d2) combination
+//! — the content of Theorem 4.
+//!
+//! Run with: `cargo run --release -p wormbench --bin exp_fig2`
+
+use worm_core::family::{CycleMessageSpec, SharedCycleSpec};
+use worm_core::paper::fig2;
+use wormbench::report::{cell, header, row};
+use wormsearch::{explore, render_witness, replay, SearchConfig, Verdict};
+use wormsim::Sim;
+
+fn main() {
+    println!("EXP-F2: Figure 2 / Theorem 4 — two sharers outside the cycle");
+    let c = fig2::two_message_deadlock();
+    let sim = Sim::new(&c.net, &c.table, c.message_specs(), Some(1)).expect("routed");
+    match explore(&sim, &SearchConfig::default()).verdict {
+        Verdict::DeadlockReachable(w) => {
+            println!(
+                "deadlock witness: {} cycles, {} stalls, members {:?}",
+                w.cycles(),
+                w.stalls_used(),
+                w.members
+            );
+            let replayed = replay(&sim, &w).expect("witness replays");
+            println!("replay confirms wait-for cycle among {replayed:?}");
+            println!("\nschedule (injections per cycle):");
+            for (t, d) in w.decisions.iter().enumerate() {
+                if !d.inject.is_empty() {
+                    println!("  cycle {t}: inject {:?}", d.inject);
+                }
+            }
+            println!("\noccupancy trace (rows: channels, columns: cycles):");
+            print!("{}", render_witness(&sim, &c.net, &w));
+        }
+        v => println!("UNEXPECTED verdict {v:?}"),
+    }
+
+    // Theorem 4 is universal over the two access distances: sweep.
+    println!("\nsweep over access distances (g = 3, reach = 1, min lengths):");
+    header(&[("d1", 4), ("d2", 4), ("verdict", 12), ("states", 9)]);
+    for d1 in 1..=4usize {
+        for d2 in 1..=4usize {
+            let spec = SharedCycleSpec {
+                messages: vec![
+                    CycleMessageSpec::shared(d1, 3, 1),
+                    CycleMessageSpec::shared(d2, 3, 1),
+                ],
+            };
+            let cc = spec.build();
+            let specs: Vec<wormsim::MessageSpec> = cc
+                .built
+                .iter()
+                .map(|b| wormsim::MessageSpec::new(b.pair.0, b.pair.1, b.spec.g))
+                .collect();
+            let sim = Sim::new(&cc.net, &cc.table, specs, Some(1)).expect("routed");
+            let r = explore(&sim, &SearchConfig::default());
+            row(&[
+                cell(d1, 4),
+                cell(d2, 4),
+                cell(
+                    match r.verdict {
+                        Verdict::DeadlockReachable(_) => "DEADLOCK",
+                        Verdict::DeadlockFree => "free(!)",
+                        Verdict::Inconclusive => "???",
+                    },
+                    12,
+                ),
+                cell(r.states_explored, 9),
+            ]);
+        }
+    }
+    println!("\npaper: every combination deadlocks (Theorem 4). measured: every");
+    println!("d1 != d2 deadlocks; the d1 == d2 diagonal stays free because this");
+    println!("router model inserts one full cycle between a tail leaving a queue");
+    println!("and the next header acquiring it, while the paper's footnote 1");
+    println!("resolves the simultaneous arrival by arbitration. one adversarial");
+    println!("stall cycle restores the paper's verdict on the diagonal:");
+    for d in 1..=3usize {
+        let spec = SharedCycleSpec {
+            messages: vec![
+                CycleMessageSpec::shared(d, 3, 1),
+                CycleMessageSpec::shared(d, 3, 1),
+            ],
+        };
+        let cc = spec.build();
+        let specs: Vec<wormsim::MessageSpec> = cc
+            .built
+            .iter()
+            .map(|b| wormsim::MessageSpec::new(b.pair.0, b.pair.1, b.spec.g))
+            .collect();
+        let sim = Sim::new(&cc.net, &cc.table, specs, Some(1)).expect("routed");
+        let (min, _) = wormsearch::min_stall_budget(&sim, 2, 1_000_000);
+        println!(
+            "  d1 = d2 = {d}: min stalls for deadlock = {}",
+            min.map(|b| b.to_string()).unwrap_or_else(|| ">2".into())
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Run every experiment in sequence. Equivalent to invoking each
+//! `exp_*` binary; used to regenerate EXPERIMENTS.md's raw output.
+//!
+//! Run with: `cargo run --release -p wormbench --bin run_all`
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for name in [
+        "exp_fig1",
+        "exp_adaptive",
+        "exp_fig2",
+        "exp_fig3",
+        "exp_lengths",
+        "exp_generalized",
+        "exp_montecarlo",
+        "exp_multishare",
+        "exp_skew",
+        "exp_theorems",
+    ] {
+        println!("\n######## {name} ########\n");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+    }
+    println!("\nall experiments completed.");
+}

@@ -1,0 +1,6 @@
+//! Benchmarks and experiment binaries for the reproduction. The
+//! library itself only hosts shared experiment helpers; see
+//! `src/bin/` for the per-figure experiment programs and `benches/`
+//! for the Criterion suites.
+
+pub mod report;

@@ -1,0 +1,40 @@
+//! Tiny fixed-width table printer shared by the experiment binaries,
+//! so every experiment prints results in the same aligned format that
+//! EXPERIMENTS.md quotes.
+
+/// Print a header row followed by a separator.
+pub fn header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    let mut rule = String::new();
+    for (name, width) in cols {
+        line.push_str(&format!("{name:>width$}  "));
+        rule.push_str(&format!("{:->width$}  ", ""));
+    }
+    println!("{}", line.trim_end());
+    println!("{}", rule.trim_end());
+}
+
+/// Print one data row with the same widths.
+pub fn row(cells: &[(String, usize)]) {
+    let mut line = String::new();
+    for (cell, width) in cells {
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Shorthand for building a row cell.
+pub fn cell(v: impl ToString, w: usize) -> (String, usize) {
+    (v.to_string(), w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        header(&[("k", 4), ("min", 6)]);
+        row(&[cell(1, 4), cell("5", 6)]);
+    }
+}

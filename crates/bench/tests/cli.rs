@@ -1,0 +1,62 @@
+//! End-to-end tests of the `analyze` CLI binary.
+
+use std::process::Command;
+
+fn analyze(args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .args(args)
+        .output()
+        .expect("spawn analyze");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn mesh_xy_is_dally_seitz_free() {
+    let (out, ok) = analyze(&["mesh", "3", "3", "xy"]);
+    assert!(ok);
+    assert!(out.contains("acyclic"));
+    assert!(out.contains("DEADLOCK-FREE (Dally-Seitz"));
+}
+
+#[test]
+fn clockwise_ring_is_deadlockable() {
+    let (out, ok) = analyze(&["ring", "4", "clockwise"]);
+    assert!(ok);
+    assert!(out.contains("DEADLOCKABLE"));
+    assert!(out.contains("Theorem 2"));
+}
+
+#[test]
+fn fig1_reports_false_resource_cycle() {
+    let (out, ok) = analyze(&["fig1"]);
+    assert!(ok);
+    assert!(out.contains("shared-channel cycle: ring of 14 channels"));
+    assert!(out.contains("DEADLOCK-FREE WITH CYCLIC DEPENDENCIES"));
+    assert!(out.contains("exhaustive search"));
+}
+
+#[test]
+fn fig3_scenarios_resolve_by_name() {
+    let (out, ok) = analyze(&["fig3a"]);
+    assert!(ok);
+    assert!(out.contains("DEADLOCK-FREE WITH CYCLIC DEPENDENCIES"));
+    assert!(out.contains("Theorem 5: all eight conditions hold"));
+
+    let (out, ok) = analyze(&["fig3e"]);
+    assert!(ok);
+    assert!(out.contains("DEADLOCKABLE"));
+    assert!(out.contains("conditions [7] fail"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (_, ok) = analyze(&["nonsense"]);
+    assert!(!ok);
+    let (_, ok) = analyze(&[]);
+    assert!(!ok);
+    let (_, ok) = analyze(&["mesh", "3"]);
+    assert!(!ok);
+}

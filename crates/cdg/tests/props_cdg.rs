@@ -1,0 +1,123 @@
+//! Property-based tests for the CDG layer: witness completeness, the
+//! Dally–Seitz certificate, and candidate validity over random
+//! routing algorithms.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use wormcdg::{enumerate_candidates, Cdg};
+use wormnet::topology::{ring_unidirectional, Mesh};
+use wormroute::algorithms::{clockwise_ring, random_table, random_tree_routing};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Witness completeness: the CDG has an edge for *every*
+    /// consecutive channel pair of *every* path, annotated with that
+    /// path's message — and nothing else.
+    #[test]
+    fn witnesses_are_complete_and_exact(seed in 0u64..500) {
+        let mesh = Mesh::new(&[3, 2]);
+        let net = mesh.network();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let table = random_table(net, &mut rng, 1).expect("routes");
+        let cdg = Cdg::build(net, &table);
+
+        // Forward direction: every window is witnessed.
+        let mut expected_edges = std::collections::BTreeSet::new();
+        for (&pair, path) in table.iter() {
+            for w in path.channels().windows(2) {
+                expected_edges.insert((w[0], w[1]));
+                prop_assert!(cdg.witnesses(w[0], w[1]).contains(&pair));
+            }
+        }
+        // Reverse: no edge without a window.
+        prop_assert_eq!(cdg.edge_count(), expected_edges.len());
+        for (&(a, b), wits) in cdg.edges() {
+            prop_assert!(expected_edges.contains(&(a, b)));
+            prop_assert!(!wits.is_empty());
+        }
+    }
+
+    /// The Dally–Seitz numbering exists iff the CDG is acyclic, and
+    /// when it exists it strictly increases along every dependency and
+    /// along every individual path.
+    #[test]
+    fn numbering_certificate_is_sound(seed in 0u64..500) {
+        let mesh = Mesh::new(&[3, 2]);
+        let net = mesh.network();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let table = random_tree_routing(net, &mut rng).expect("routes");
+        let cdg = Cdg::build(net, &table);
+        match cdg.numbering() {
+            Some(numbering) => {
+                prop_assert!(cdg.is_acyclic());
+                for (&(a, b), _) in cdg.edges() {
+                    prop_assert!(numbering[a.index()] < numbering[b.index()]);
+                }
+                for (_, path) in table.iter() {
+                    for w in path.channels().windows(2) {
+                        prop_assert!(numbering[w[0].index()] < numbering[w[1].index()]);
+                    }
+                }
+            }
+            None => prop_assert!(!cdg.is_acyclic()),
+        }
+    }
+
+    /// Candidate enumeration on rings: the count is stable across
+    /// calls, candidates tile the cycle, and every blocking handoff is
+    /// witnessed.
+    #[test]
+    fn ring_candidates_are_valid(n in 3usize..6) {
+        let (net, nodes) = ring_unidirectional(n);
+        let table = clockwise_ring(&net, &nodes).expect("routes");
+        let cdg = Cdg::build(&net, &table);
+        let cycle = cdg.cycles().remove(0);
+        let (cands, complete) = enumerate_candidates(&cdg, &cycle, 1_000_000);
+        prop_assert!(complete);
+        prop_assert!(!cands.is_empty());
+        let (again, _) = enumerate_candidates(&cdg, &cycle, 1_000_000);
+        prop_assert_eq!(&cands, &again, "deterministic enumeration");
+        for cand in &cands {
+            let total: usize = cand.segments.iter().map(|s| s.channels.len()).sum();
+            prop_assert_eq!(total, cycle.len());
+            let k = cand.segments.len();
+            prop_assert!(k >= 2);
+            for i in 0..k {
+                let cur = &cand.segments[i];
+                let next = &cand.segments[(i + 1) % k];
+                let last = *cur.channels.last().unwrap();
+                prop_assert!(cdg.witnesses(last, next.channels[0]).contains(&cur.msg));
+            }
+            // Each message owns exactly one segment.
+            let mut msgs: Vec<_> = cand.messages();
+            msgs.sort_unstable();
+            msgs.dedup();
+            prop_assert_eq!(msgs.len(), k);
+        }
+    }
+
+    /// Cycle enumeration output is canonical: cycles are sorted,
+    /// deduplicated, rotation-normalized, and every edge exists.
+    #[test]
+    fn cycles_are_canonical(seed in 0u64..300) {
+        let mesh = Mesh::new(&[2, 2]);
+        let net = mesh.network();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let table = random_table(net, &mut rng, 2).expect("routes");
+        let cdg = Cdg::build(net, &table);
+        if let Some(cycles) = cdg.cycles_bounded(10_000) {
+            for c in &cycles {
+                let min = c.channels.iter().min().unwrap();
+                prop_assert_eq!(&c.channels[0], min, "minimum channel first");
+                for (a, b) in c.edge_pairs() {
+                    prop_assert!(cdg.has_edge(a, b));
+                }
+            }
+            let mut sorted = cycles.clone();
+            sorted.sort_by(|a, b| a.channels.cmp(&b.channels));
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), cycles.len(), "no duplicates");
+        }
+    }
+}

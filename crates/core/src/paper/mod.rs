@@ -1,0 +1,6 @@
+//! The paper's concrete constructions.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod generalized;

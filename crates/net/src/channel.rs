@@ -1,0 +1,146 @@
+//! Channel (arc) identifiers and per-channel metadata.
+
+use core::fmt;
+
+use crate::NodeId;
+
+/// Identifier of a unidirectional channel within a [`crate::Network`].
+///
+/// Dense indices handed out by [`crate::Network::add_channel`] in
+/// insertion order; usable for per-channel tables (buffer state, CDG
+/// vertices, ...).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ChannelId {
+    /// Construct a channel id from a raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ChannelId(u32::try_from(index).expect("channel index exceeds u32 range"))
+    }
+
+    /// The dense index of this channel.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A unidirectional channel between two neighbouring nodes.
+///
+/// Per the paper's model each channel has its own flit queue; the queue
+/// depth is a *simulation* parameter (the analysis must hold for every
+/// depth ≥ 1, see Section 3 of the paper), so the default capacity here
+/// is the adversarial minimum of one flit. Virtual channels are
+/// parallel `Channel`s over the same physical link, distinguished by
+/// [`Channel::vc`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Channel {
+    pub(crate) id: ChannelId,
+    pub(crate) src: NodeId,
+    pub(crate) dst: NodeId,
+    pub(crate) vc: u8,
+    pub(crate) capacity: usize,
+    pub(crate) label: Option<String>,
+}
+
+impl Channel {
+    /// The channel's id.
+    #[inline]
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The node the channel transmits *from* (the paper's `s_c`).
+    #[inline]
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The node the channel transmits *to* (the paper's `d_c`).
+    #[inline]
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Virtual-channel lane index (0 for networks without VCs).
+    #[inline]
+    pub fn vc(&self) -> u8 {
+        self.vc
+    }
+
+    /// Flit-queue capacity in flits (≥ 1).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Optional human-readable label, used when rendering analyses of
+    /// the paper's figures (e.g. `"cs"` for the shared channel).
+    #[inline]
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "{}({}->{}#{})", l, self.src, self.dst, self.vc),
+            None => write!(f, "{}->{}#{}", self.src, self.dst, self.vc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Channel {
+        Channel {
+            id: ChannelId::from_index(0),
+            src: NodeId::from_index(1),
+            dst: NodeId::from_index(2),
+            vc: 0,
+            capacity: 1,
+            label: None,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let c = sample();
+        assert_eq!(c.id().index(), 0);
+        assert_eq!(c.src().index(), 1);
+        assert_eq!(c.dst().index(), 2);
+        assert_eq!(c.vc(), 0);
+        assert_eq!(c.capacity(), 1);
+        assert!(c.label().is_none());
+    }
+
+    #[test]
+    fn display_with_and_without_label() {
+        let mut c = sample();
+        assert_eq!(c.to_string(), "n1->n2#0");
+        c.label = Some("cs".to_string());
+        assert_eq!(c.to_string(), "cs(n1->n2#0)");
+    }
+
+    #[test]
+    fn channel_id_roundtrip() {
+        assert_eq!(ChannelId::from_index(9).index(), 9);
+        assert_eq!(format!("{:?}", ChannelId::from_index(9)), "c9");
+    }
+}

@@ -1,0 +1,74 @@
+//! Graphviz DOT export for networks.
+
+use std::fmt::Write as _;
+
+use crate::{ChannelId, Network};
+
+/// Render the network as a Graphviz digraph. Channel labels show the
+/// VC lane when nonzero; `highlight` channels are drawn bold red
+/// (used to display the cycle of the paper's figures).
+pub fn network_to_dot(net: &Network, highlight: &[ChannelId]) -> String {
+    let mut out = String::from("digraph network {\n");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for n in net.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", n.index(), net.node_name(n));
+    }
+    for c in net.channels() {
+        let mut attrs: Vec<String> = Vec::new();
+        if c.vc() != 0 {
+            attrs.push(format!("label=\"vc{}\"", c.vc()));
+        }
+        if let Some(l) = c.label() {
+            attrs.push(format!("label=\"{l}\""));
+        }
+        if highlight.contains(&c.id()) {
+            attrs.push("color=red".to_string());
+            attrs.push("penwidth=2".to_string());
+        }
+        let attrs = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{}{attrs};",
+            c.src().index(),
+            c.dst().index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ring_unidirectional;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let (net, nodes) = ring_unidirectional(3);
+        let c0 = net.find_channel(nodes[0], nodes[1]).unwrap();
+        let dot = network_to_dot(&net, &[c0]);
+        assert!(dot.starts_with("digraph network {"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 3 node lines + 3 edge lines.
+        assert_eq!(dot.matches("->").count(), 3);
+    }
+
+    #[test]
+    fn labels_vcs_and_named_channels() {
+        let mut net = Network::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.add_channel_vc(a, b, 1);
+        net.add_labeled_channel(b, a, "cs");
+        let dot = network_to_dot(&net, &[]);
+        assert!(dot.contains("label=\"vc1\""));
+        assert!(dot.contains("label=\"cs\""));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for network construction and validation.
+
+use core::fmt;
+
+/// Errors reported while building or validating a [`crate::Network`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(usize),
+    /// A channel id referenced a channel that does not exist.
+    UnknownChannel(usize),
+    /// A channel was requested with a zero-flit buffer.
+    ZeroCapacity,
+    /// A self-loop channel was requested (`src == dst`); the wormhole
+    /// model has no use for them and they break path semantics.
+    SelfLoop(usize),
+    /// The network is not strongly connected (Definition 1 requires it).
+    NotStronglyConnected {
+        /// Number of strongly connected components found.
+        components: usize,
+    },
+    /// No channel exists between the requested pair of nodes.
+    NoChannelBetween(usize, usize),
+    /// A duplicate node name was registered.
+    DuplicateNodeName(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(i) => write!(f, "unknown node index {i}"),
+            NetError::UnknownChannel(i) => write!(f, "unknown channel index {i}"),
+            NetError::ZeroCapacity => write!(f, "channel capacity must be at least one flit"),
+            NetError::SelfLoop(i) => write!(f, "self-loop channel requested at node {i}"),
+            NetError::NotStronglyConnected { components } => write!(
+                f,
+                "network is not strongly connected ({components} strongly connected components)"
+            ),
+            NetError::NoChannelBetween(u, v) => {
+                write!(f, "no channel between node {u} and node {v}")
+            }
+            NetError::DuplicateNodeName(n) => write!(f, "duplicate node name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(NetError::UnknownNode(3).to_string().contains('3'));
+        assert!(NetError::ZeroCapacity.to_string().contains("one flit"));
+        assert!(NetError::NotStronglyConnected { components: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(NetError::DuplicateNodeName("x".into())
+            .to_string()
+            .contains("\"x\""));
+    }
+}

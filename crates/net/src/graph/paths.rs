@@ -1,0 +1,109 @@
+//! Breadth-first shortest paths and reachability.
+
+use std::collections::VecDeque;
+
+use super::Digraph;
+
+/// BFS hop distances from `src` to every vertex (`None` = unreachable).
+pub fn bfs_distances(g: &impl Digraph, src: usize) -> Vec<Option<usize>> {
+    let n = g.vertex_count();
+    let mut dist = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[src] = Some(0);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v].expect("queued vertices have distances");
+        for w in g.successors(v) {
+            if dist[w].is_none() {
+                dist[w] = Some(dv + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// One shortest vertex path from `src` to `dst` (inclusive of both),
+/// or `None` if unreachable. Ties broken by successor order.
+pub fn bfs_path(g: &impl Digraph, src: usize, dst: usize) -> Option<Vec<usize>> {
+    let n = g.vertex_count();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[src] = true;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        if v == dst {
+            let mut path = vec![dst];
+            let mut cur = dst;
+            while let Some(p) = parent[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for w in g.successors(v) {
+            if !seen[w] {
+                seen[w] = true;
+                parent[w] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Set of vertices reachable from `src` (including `src`).
+pub fn reachable_from(g: &impl Digraph, src: usize) -> Vec<bool> {
+    bfs_distances(g, src)
+        .into_iter()
+        .map(|d| d.is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::AdjList;
+    use super::*;
+
+    fn diamond() -> AdjList {
+        // 0 -> {1,2} -> 3
+        AdjList::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn distances() {
+        let g = diamond();
+        assert_eq!(
+            bfs_distances(&g, 0),
+            vec![Some(0), Some(1), Some(1), Some(2)]
+        );
+        assert_eq!(bfs_distances(&g, 3), vec![None, None, None, Some(0)]);
+    }
+
+    #[test]
+    fn paths() {
+        let g = diamond();
+        let p = bfs_path(&g, 0, 3).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[2], 3);
+        assert_eq!(bfs_path(&g, 3, 0), None);
+        assert_eq!(bfs_path(&g, 1, 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert_eq!(reachable_from(&g, 0), vec![true, true, true, true]);
+        assert_eq!(reachable_from(&g, 1), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn path_is_shortest() {
+        // Long way around (0->1->2->3) and a shortcut (0->3).
+        let g = AdjList::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        assert_eq!(bfs_path(&g, 0, 3).unwrap(), vec![0, 3]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Topological ordering and acyclicity, used for the Dally–Seitz
+//! channel-numbering check.
+
+use std::collections::VecDeque;
+
+use super::Digraph;
+
+/// Kahn topological sort. Returns a vertex order in which every edge
+/// points forward, or `None` if the graph has a cycle.
+///
+/// This is exactly the certificate Dally & Seitz's theorem asks for:
+/// an acyclic channel dependency graph admits a strictly increasing
+/// channel numbering (the position in this order).
+pub fn topological_order(g: &impl Digraph) -> Option<Vec<usize>> {
+    let n = g.vertex_count();
+    let mut indegree = vec![0usize; n];
+    for v in 0..n {
+        for w in g.successors(v) {
+            indegree[w] += 1;
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for w in g.successors(v) {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Whether the graph is acyclic.
+pub fn is_acyclic(g: &impl Digraph) -> bool {
+    topological_order(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::AdjList;
+    use super::*;
+
+    #[test]
+    fn dag_orders() {
+        let g = AdjList::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topological_order(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = AdjList::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!(topological_order(&g).is_none());
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert!(is_acyclic(&AdjList::new(0)));
+        assert!(is_acyclic(&AdjList::new(5)));
+        assert_eq!(topological_order(&AdjList::new(5)).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn parallel_edges_handled() {
+        let g = AdjList::from_edges(2, &[(0, 1), (0, 1)]);
+        assert!(is_acyclic(&g));
+    }
+}

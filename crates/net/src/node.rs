@@ -1,0 +1,61 @@
+//! Node identifiers.
+
+use core::fmt;
+
+/// Identifier of a processor/router node within a [`crate::Network`].
+///
+/// `NodeId`s are dense indices handed out by [`crate::Network::add_node`]
+/// in insertion order, so they can be used to index per-node tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Construct a node id from a raw index.
+    ///
+    /// Intended for table-driven code that stores node indices; the id
+    /// is only meaningful for the network it was created for.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_index() {
+        let n = NodeId::from_index(17);
+        assert_eq!(n.index(), 17);
+    }
+
+    #[test]
+    fn ordered_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        assert_eq!(format!("{:?}", NodeId::from_index(3)), "n3");
+        assert_eq!(format!("{}", NodeId::from_index(3)), "n3");
+    }
+}

@@ -1,0 +1,107 @@
+//! Binary hypercube.
+
+use crate::{Network, NodeId};
+
+/// A binary hypercube of dimension `d`: nodes are the `2^d` bit
+/// strings, with bidirectional links between strings differing in one
+/// bit. E-cube routing (in `wormroute`) is the classic deadlock-free
+/// oblivious algorithm for this topology.
+#[derive(Clone, Debug)]
+pub struct Hypercube {
+    net: Network,
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Build a hypercube of dimension `d` (1 ≤ d ≤ 16).
+    pub fn new(d: u32) -> Self {
+        assert!((1..=16).contains(&d), "hypercube dimension out of range");
+        let n = 1usize << d;
+        let mut net = Network::new();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| net.add_node(format!("h{i:0width$b}", width = d as usize)))
+            .collect();
+        for i in 0..n {
+            for bit in 0..d {
+                let j = i ^ (1usize << bit);
+                if j > i {
+                    net.add_bidi(nodes[i], nodes[j]);
+                }
+            }
+        }
+        Hypercube { net, dim: d }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Consume the hypercube, returning the network.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Node for a bit-string address.
+    pub fn node(&self, address: usize) -> NodeId {
+        assert!(address < (1usize << self.dim));
+        NodeId::from_index(address)
+    }
+
+    /// Bit-string address of a node.
+    pub fn address(&self, node: NodeId) -> usize {
+        node.index()
+    }
+
+    /// Hamming distance — the minimal hop count.
+    pub fn hamming(&self, a: NodeId, b: NodeId) -> usize {
+        (self.address(a) ^ self.address(b)).count_ones() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_shape() {
+        let h = Hypercube::new(3);
+        assert_eq!(h.network().node_count(), 8);
+        // 3 * 2^3 / 2 = 12 undirected links -> 24 channels.
+        assert_eq!(h.network().channel_count(), 24);
+        assert!(h.network().is_strongly_connected());
+    }
+
+    #[test]
+    fn hamming_matches_bfs() {
+        let h = Hypercube::new(4);
+        let a = h.node(0b0000);
+        let b = h.node(0b1011);
+        assert_eq!(h.hamming(a, b), 3);
+        assert_eq!(h.network().hop_distance(a, b), Some(3));
+    }
+
+    #[test]
+    fn names_are_binary() {
+        let h = Hypercube::new(3);
+        assert_eq!(h.network().node_name(h.node(5)), "h101");
+    }
+
+    #[test]
+    fn one_dimensional_cube_is_a_pair() {
+        let h = Hypercube::new(1);
+        assert_eq!(h.network().node_count(), 2);
+        assert_eq!(h.network().channel_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_dim_rejected() {
+        Hypercube::new(0);
+    }
+}

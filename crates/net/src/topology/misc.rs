@@ -1,0 +1,76 @@
+//! Small utility topologies used in tests and in the paper networks'
+//! supporting structure.
+
+use crate::{Network, NodeId};
+
+/// A bidirectional line (path graph) of `n ≥ 2` nodes.
+pub fn line(n: usize) -> (Network, Vec<NodeId>) {
+    assert!(n >= 2, "a line needs at least two nodes");
+    let mut net = Network::new();
+    let nodes = net.add_nodes("l", n);
+    for w in nodes.windows(2) {
+        net.add_bidi(w[0], w[1]);
+    }
+    (net, nodes)
+}
+
+/// A star: one hub with bidirectional links to `leaves ≥ 1` leaves.
+/// Returns `(network, hub, leaves)`. This is the skeleton of the
+/// paper's Figure 1, where `N*` is connected to every node.
+pub fn star(leaves: usize) -> (Network, NodeId, Vec<NodeId>) {
+    assert!(leaves >= 1, "a star needs at least one leaf");
+    let mut net = Network::new();
+    let hub = net.add_node("hub");
+    let leaf_ids = net.add_nodes("leaf", leaves);
+    for &l in &leaf_ids {
+        net.add_bidi(hub, l);
+    }
+    (net, hub, leaf_ids)
+}
+
+/// A complete directed graph on `n ≥ 2` nodes (channels both ways
+/// between every pair).
+pub fn complete(n: usize) -> (Network, Vec<NodeId>) {
+    assert!(n >= 2, "a complete graph needs at least two nodes");
+    let mut net = Network::new();
+    let nodes = net.add_nodes("k", n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                net.add_channel(nodes[i], nodes[j]);
+            }
+        }
+    }
+    (net, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shape() {
+        let (net, nodes) = line(4);
+        assert_eq!(net.channel_count(), 6);
+        assert!(net.is_strongly_connected());
+        assert_eq!(net.hop_distance(nodes[0], nodes[3]), Some(3));
+    }
+
+    #[test]
+    fn star_shape() {
+        let (net, hub, leaves) = star(5);
+        assert_eq!(net.node_count(), 6);
+        assert_eq!(net.channel_count(), 10);
+        assert!(net.is_strongly_connected());
+        assert_eq!(net.hop_distance(leaves[0], leaves[4]), Some(2));
+        assert_eq!(net.hop_distance(hub, leaves[2]), Some(1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let (net, nodes) = complete(4);
+        assert_eq!(net.channel_count(), 12);
+        assert!(net.is_strongly_connected());
+        assert_eq!(net.hop_distance(nodes[1], nodes[3]), Some(1));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the graph algorithms and topology
+//! builders: our Johnson/Tarjan/BFS implementations against brute
+//! force and against each other, and structural invariants of the
+//! generated topologies.
+
+use proptest::prelude::*;
+use wormnet::graph::{
+    bfs_distances, bfs_path, elementary_cycles, is_acyclic, tarjan_scc, topological_order, AdjList,
+    Digraph,
+};
+use wormnet::topology::{ring_unidirectional, Hypercube, Mesh, Torus};
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..7).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..20)
+            .prop_map(|es| es.into_iter().filter(|(u, v)| u != v).collect::<Vec<_>>());
+        (Just(n), edges)
+    })
+}
+
+/// Exponential brute force cycle enumeration for cross-checking.
+fn brute_force_cycles(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let g = AdjList::from_edges(n, edges);
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    fn dfs(
+        g: &AdjList,
+        start: usize,
+        v: usize,
+        path: &mut Vec<usize>,
+        seen: &mut Vec<bool>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        for w in g.successors(v) {
+            if w == start {
+                out.push(path.clone());
+            } else if w > start && !seen[w] {
+                seen[w] = true;
+                path.push(w);
+                dfs(g, start, w, path, seen, out);
+                path.pop();
+                seen[w] = false;
+            }
+        }
+    }
+    for s in 0..n {
+        let mut seen = vec![false; n];
+        seen[s] = true;
+        let mut path = vec![s];
+        dfs(&g, s, s, &mut path, &mut seen, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Johnson's algorithm finds exactly the brute-force cycle set.
+    #[test]
+    fn johnson_matches_brute_force((n, edges) in arb_graph()) {
+        let g = AdjList::from_edges(n, &edges);
+        prop_assert_eq!(elementary_cycles(&g), brute_force_cycles(n, &edges));
+    }
+
+    /// Acyclicity, topological order, SCC structure, and cycle
+    /// enumeration are mutually consistent.
+    #[test]
+    fn graph_algorithms_are_consistent((n, edges) in arb_graph()) {
+        let g = AdjList::from_edges(n, &edges);
+        let cycles = elementary_cycles(&g);
+        let acyclic = is_acyclic(&g);
+        prop_assert_eq!(acyclic, cycles.is_empty());
+        prop_assert_eq!(acyclic, topological_order(&g).is_some());
+        // Every cycle lives inside one SCC.
+        let comps = tarjan_scc(&g);
+        let mut comp_of = vec![usize::MAX; n];
+        for (i, c) in comps.iter().enumerate() {
+            for &v in c {
+                comp_of[v] = i;
+            }
+        }
+        for cycle in &cycles {
+            let c0 = comp_of[cycle[0]];
+            prop_assert!(cycle.iter().all(|&v| comp_of[v] == c0));
+        }
+        // A topological order, if any, puts every edge forward.
+        if let Some(order) = topological_order(&g) {
+            let mut pos = vec![0; n];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v] = i;
+            }
+            for &(u, v) in &edges {
+                prop_assert!(pos[u] < pos[v]);
+            }
+        }
+    }
+
+    /// BFS paths are valid walks of the claimed (minimal) length.
+    #[test]
+    fn bfs_paths_are_shortest((n, edges) in arb_graph(), s in 0usize..6, t in 0usize..6) {
+        let (s, t) = (s % n, t % n);
+        let g = AdjList::from_edges(n, &edges);
+        let dist = bfs_distances(&g, s);
+        match bfs_path(&g, s, t) {
+            Some(path) => {
+                prop_assert_eq!(path[0], s);
+                prop_assert_eq!(*path.last().unwrap(), t);
+                prop_assert_eq!(Some(path.len() - 1), dist[t]);
+                for w in path.windows(2) {
+                    prop_assert!(g.successors(w[0]).contains(&w[1]));
+                }
+            }
+            None => prop_assert_eq!(dist[t], None),
+        }
+    }
+
+    /// Mesh BFS distance equals Manhattan distance for every pair.
+    #[test]
+    fn mesh_distances_are_manhattan(w in 2usize..5, h in 1usize..4) {
+        prop_assume!(w * h >= 2);
+        let mesh = Mesh::new(&[w, h]);
+        for a in mesh.network().nodes().collect::<Vec<_>>() {
+            for b in mesh.network().nodes().collect::<Vec<_>>() {
+                prop_assert_eq!(
+                    mesh.network().hop_distance(a, b),
+                    Some(mesh.manhattan(a, b))
+                );
+            }
+        }
+    }
+
+    /// Torus distances equal wrap-aware Manhattan for every pair.
+    #[test]
+    fn torus_distances_wrap(k in 3usize..5) {
+        let t = Torus::new(&[k, 3], 1);
+        for a in t.network().nodes().collect::<Vec<_>>() {
+            for b in t.network().nodes().collect::<Vec<_>>() {
+                prop_assert_eq!(
+                    t.network().hop_distance(a, b),
+                    Some(t.ring_distance(a, b))
+                );
+            }
+        }
+    }
+
+    /// Hypercube distance equals Hamming distance.
+    #[test]
+    fn hypercube_distances_are_hamming(d in 1u32..5) {
+        let h = Hypercube::new(d);
+        for a in h.network().nodes().collect::<Vec<_>>() {
+            for b in h.network().nodes().collect::<Vec<_>>() {
+                prop_assert_eq!(
+                    h.network().hop_distance(a, b),
+                    Some(h.hamming(a, b))
+                );
+            }
+        }
+    }
+
+    /// Every builder yields a strongly connected Definition-1 network.
+    #[test]
+    fn builders_are_strongly_connected(n in 2usize..8) {
+        let (ring, _) = ring_unidirectional(n);
+        prop_assert!(ring.is_strongly_connected());
+        prop_assert!(ring.validate().is_ok());
+    }
+}

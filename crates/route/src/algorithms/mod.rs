@@ -1,0 +1,30 @@
+//! Concrete oblivious routing algorithms.
+//!
+//! * Deadlock-free baselines with acyclic channel dependency graphs:
+//!   [`dimension_order`] (XY and its n-dimensional generalization),
+//!   [`ecube`], [`dateline_ring`], [`dateline_torus`],
+//!   [`west_first`], [`negative_first`], and two-phase
+//!   [`valiant_mesh`] (nonminimal, non-coherent, yet Dally-Seitz
+//!   safe).
+//! * Deliberately deadlock-prone algorithms used to validate the
+//!   analysis pipeline: [`clockwise_ring`].
+//! * Generators for corpus experiments: [`shortest_path_table`],
+//!   [`random_table`].
+
+mod dateline;
+mod dor;
+mod ecube;
+mod generators;
+mod ringalg;
+mod turn;
+mod updown;
+mod valiant;
+
+pub use dateline::{dateline_ring, dateline_torus};
+pub use dor::{dimension_order, xy_mesh};
+pub use ecube::ecube;
+pub use generators::{random_table, random_tree_routing, shortest_path_table};
+pub use ringalg::clockwise_ring;
+pub use turn::{negative_first, west_first};
+pub use updown::updown_tree;
+pub use valiant::valiant_mesh;

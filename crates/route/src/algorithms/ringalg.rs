@@ -1,0 +1,52 @@
+//! Ring routing without virtual channels — the canonical
+//! deadlock-prone oblivious algorithm.
+
+use wormnet::{Network, NodeId};
+
+use crate::error::RouteError;
+use crate::table::TableRouting;
+
+/// Clockwise routing on a unidirectional ring (no virtual channels):
+/// every message follows the ring to its destination.
+///
+/// This algorithm is suffix-closed and coherent, and its channel
+/// dependency graph is the full ring cycle. By the paper's
+/// Corollary 2 the cycle cannot be unreachable, so the algorithm
+/// *must* deadlock — the experiments confirm the search engine finds
+/// the deadlock, validating the pipeline against a known-bad baseline.
+pub fn clockwise_ring(net: &Network, nodes: &[NodeId]) -> Result<TableRouting, RouteError> {
+    let n = nodes.len();
+    TableRouting::from_node_paths(net, |s, d| {
+        let si = nodes.iter().position(|&x| x == s)?;
+        let mut walk = vec![s];
+        let mut i = si;
+        while nodes[i] != d {
+            i = (i + 1) % n;
+            walk.push(nodes[i]);
+        }
+        Some(walk)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use wormnet::topology::ring_unidirectional;
+
+    #[test]
+    fn routes_clockwise() {
+        let (net, nodes) = ring_unidirectional(5);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        assert_eq!(table.path(nodes[3], nodes[1]).unwrap().len(), 3);
+        assert!(table.is_total(&net));
+    }
+
+    #[test]
+    fn is_coherent_and_functional() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        assert!(properties::is_coherent(&net, &table));
+        assert!(table.compile(&net).is_ok());
+    }
+}

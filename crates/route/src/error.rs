@@ -1,0 +1,134 @@
+//! Error types for routing construction.
+
+use core::fmt;
+
+use wormnet::{ChannelId, NodeId};
+
+/// A table of paths could not be compiled into a routing *function*
+/// `R : C × N → C`: two paths that arrive at the same point over the
+/// same input channel, heading for the same destination, continue on
+/// different output channels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionConflict {
+    /// The input channel at the conflict point (`None` = conflict at
+    /// injection, i.e. two different first channels from one source
+    /// for the same destination — impossible for a well-formed table).
+    pub input: Option<ChannelId>,
+    /// The destination being routed to.
+    pub dst: NodeId,
+    /// The two incompatible output channels.
+    pub outputs: (ChannelId, ChannelId),
+}
+
+impl fmt::Display for FunctionConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "routing table is not an oblivious function: input {:?} toward {} maps to both {} and {}",
+            self.input, self.dst, self.outputs.0, self.outputs.1
+        )
+    }
+}
+
+impl std::error::Error for FunctionConflict {}
+
+/// Errors reported while constructing paths or routing tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// Empty node/channel sequence where a path was required.
+    EmptyPath,
+    /// Consecutive path channels do not share an endpoint.
+    Disconnected {
+        /// Index of the first offending channel within the path.
+        at: usize,
+    },
+    /// No channel exists between two consecutive nodes of a node path.
+    MissingChannel {
+        /// The `from` node.
+        from: NodeId,
+        /// The `to` node.
+        to: NodeId,
+    },
+    /// The path does not start at the claimed source.
+    WrongSource {
+        /// Expected source.
+        expected: NodeId,
+        /// Actual first node.
+        actual: NodeId,
+    },
+    /// The path does not end at the claimed destination.
+    WrongDestination {
+        /// Expected destination.
+        expected: NodeId,
+        /// Actual last node.
+        actual: NodeId,
+    },
+    /// A path was registered for a `src == dst` pair.
+    TrivialPair(NodeId),
+    /// The same (src, dst) pair was registered twice — oblivious
+    /// routing defines a *single* path per pair.
+    DuplicatePair(NodeId, NodeId),
+    /// A channel repeats within one path; a message cannot hold the
+    /// same channel queue twice under atomic buffer allocation.
+    RepeatedChannel(ChannelId),
+    /// The table could not be realized as a routing function.
+    NotAFunction(FunctionConflict),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::EmptyPath => write!(f, "path must contain at least one channel"),
+            RouteError::Disconnected { at } => {
+                write!(f, "path channels {} and {} are not adjacent", at, at + 1)
+            }
+            RouteError::MissingChannel { from, to } => {
+                write!(f, "no channel from {from} to {to}")
+            }
+            RouteError::WrongSource { expected, actual } => {
+                write!(f, "path starts at {actual}, expected {expected}")
+            }
+            RouteError::WrongDestination { expected, actual } => {
+                write!(f, "path ends at {actual}, expected {expected}")
+            }
+            RouteError::TrivialPair(n) => write!(f, "path from {n} to itself is not allowed"),
+            RouteError::DuplicatePair(s, d) => {
+                write!(f, "duplicate path registered for ({s}, {d})")
+            }
+            RouteError::RepeatedChannel(c) => write!(f, "channel {c} repeats within a path"),
+            RouteError::NotAFunction(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl From<FunctionConflict> for RouteError {
+    fn from(c: FunctionConflict) -> Self {
+        RouteError::NotAFunction(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = RouteError::MissingChannel {
+            from: NodeId::from_index(1),
+            to: NodeId::from_index(2),
+        };
+        assert!(e.to_string().contains("n1"));
+        assert!(e.to_string().contains("n2"));
+
+        let c = FunctionConflict {
+            input: None,
+            dst: NodeId::from_index(0),
+            outputs: (ChannelId::from_index(1), ChannelId::from_index(2)),
+        };
+        assert!(c.to_string().contains("c1"));
+        let e: RouteError = c.into();
+        assert!(matches!(e, RouteError::NotAFunction(_)));
+    }
+}

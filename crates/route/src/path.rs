@@ -1,0 +1,273 @@
+//! Channel paths through a network.
+
+use wormnet::{ChannelId, Network, NodeId};
+
+use crate::error::RouteError;
+
+/// A non-empty sequence of channels forming a connected walk.
+///
+/// A `Path` stores channels, not nodes, because channels are the
+/// resources wormhole routing reasons about: a path may revisit a
+/// *node* (the paper discusses non-coherent algorithms that do exactly
+/// that) but never a *channel* — a message cannot occupy the same
+/// channel queue twice under atomic buffer allocation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Path {
+    channels: Vec<ChannelId>,
+}
+
+impl Path {
+    /// Build a path from channels, validating connectivity against the
+    /// network.
+    pub fn from_channels(net: &Network, channels: Vec<ChannelId>) -> Result<Self, RouteError> {
+        if channels.is_empty() {
+            return Err(RouteError::EmptyPath);
+        }
+        for (i, w) in channels.windows(2).enumerate() {
+            if net.channel(w[0]).dst() != net.channel(w[1]).src() {
+                return Err(RouteError::Disconnected { at: i });
+            }
+        }
+        let mut seen = channels.clone();
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            if w[0] == w[1] {
+                return Err(RouteError::RepeatedChannel(w[0]));
+            }
+        }
+        Ok(Path { channels })
+    }
+
+    /// Build a path from a node walk, picking the VC-0 channel between
+    /// consecutive nodes.
+    pub fn from_nodes(net: &Network, nodes: &[NodeId]) -> Result<Self, RouteError> {
+        Self::from_nodes_with(net, nodes, |net, a, b, _| net.find_channel(a, b))
+    }
+
+    /// Build a path from a node walk with a custom channel selector
+    /// (used for virtual-channel algorithms such as dateline routing).
+    /// The selector receives `(network, from, to, hop_index)`.
+    pub fn from_nodes_with(
+        net: &Network,
+        nodes: &[NodeId],
+        mut pick: impl FnMut(&Network, NodeId, NodeId, usize) -> Option<ChannelId>,
+    ) -> Result<Self, RouteError> {
+        if nodes.len() < 2 {
+            return Err(RouteError::EmptyPath);
+        }
+        let mut channels = Vec::with_capacity(nodes.len() - 1);
+        for (i, w) in nodes.windows(2).enumerate() {
+            let c = pick(net, w[0], w[1], i).ok_or(RouteError::MissingChannel {
+                from: w[0],
+                to: w[1],
+            })?;
+            channels.push(c);
+        }
+        Self::from_channels(net, channels)
+    }
+
+    /// The channels of the path in order.
+    #[inline]
+    pub fn channels(&self) -> &[ChannelId] {
+        &self.channels
+    }
+
+    /// Number of channels (hops).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Paths are never empty; provided for clippy-idiomatic callers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Source node (origin of the first channel).
+    pub fn src(&self, net: &Network) -> NodeId {
+        net.channel(self.channels[0]).src()
+    }
+
+    /// Destination node (target of the last channel).
+    pub fn dst(&self, net: &Network) -> NodeId {
+        net.channel(*self.channels.last().expect("paths are non-empty"))
+            .dst()
+    }
+
+    /// The node walk visited by the path (length `len() + 1`).
+    pub fn nodes(&self, net: &Network) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.channels.len() + 1);
+        nodes.push(self.src(net));
+        for &c in &self.channels {
+            nodes.push(net.channel(c).dst());
+        }
+        nodes
+    }
+
+    /// Whether the path visits every node at most once (no revisits) —
+    /// part of Definition 9's coherence requirement.
+    pub fn is_node_simple(&self, net: &Network) -> bool {
+        let mut nodes = self.nodes(net);
+        nodes.sort_unstable();
+        nodes.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Position of the first occurrence of `node` along the node walk,
+    /// if the path visits it.
+    pub fn find_node(&self, net: &Network, node: NodeId) -> Option<usize> {
+        self.nodes(net).iter().position(|&n| n == node)
+    }
+
+    /// Whether `channel` appears on the path.
+    pub fn contains(&self, channel: ChannelId) -> bool {
+        self.channels.contains(&channel)
+    }
+
+    /// The prefix of the path whose node walk ends at the first
+    /// occurrence of `node`; `None` if the path does not visit `node`
+    /// strictly after its source.
+    pub fn prefix_to(&self, net: &Network, node: NodeId) -> Option<Path> {
+        let pos = self.find_node(net, node)?;
+        if pos == 0 {
+            return None;
+        }
+        Some(Path {
+            channels: self.channels[..pos].to_vec(),
+        })
+    }
+
+    /// The suffix of the path starting at the occurrence of `node` at
+    /// walk position `pos` (as returned by node-walk indexing).
+    pub fn suffix_from_pos(&self, pos: usize) -> Option<Path> {
+        if pos >= self.channels.len() {
+            return None;
+        }
+        Some(Path {
+            channels: self.channels[pos..].to_vec(),
+        })
+    }
+
+    /// Render as `n0 -> n1 -> ...` for reports.
+    pub fn describe(&self, net: &Network) -> String {
+        self.nodes(net)
+            .iter()
+            .map(|&n| net.node_name(n).to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> (Network, Vec<NodeId>) {
+        // 0 -> 1 -> 2 -> 3 -> 0, bidirectional.
+        let mut net = Network::new();
+        let nodes = net.add_nodes("s", 4);
+        for i in 0..4 {
+            net.add_bidi(nodes[i], nodes[(i + 1) % 4]);
+        }
+        (net, nodes)
+    }
+
+    #[test]
+    fn from_nodes_builds_connected_path() {
+        let (net, n) = square();
+        let p = Path::from_nodes(&net, &[n[0], n[1], n[2]]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.src(&net), n[0]);
+        assert_eq!(p.dst(&net), n[2]);
+        assert_eq!(p.nodes(&net), vec![n[0], n[1], n[2]]);
+        assert!(p.is_node_simple(&net));
+    }
+
+    #[test]
+    fn disconnected_channels_rejected() {
+        let (net, n) = square();
+        let c01 = net.find_channel(n[0], n[1]).unwrap();
+        let c23 = net.find_channel(n[2], n[3]).unwrap();
+        assert_eq!(
+            Path::from_channels(&net, vec![c01, c23]),
+            Err(RouteError::Disconnected { at: 0 })
+        );
+    }
+
+    #[test]
+    fn missing_channel_reported() {
+        let (net, n) = square();
+        let err = Path::from_nodes(&net, &[n[0], n[2]]).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::MissingChannel {
+                from: n[0],
+                to: n[2]
+            }
+        );
+    }
+
+    #[test]
+    fn empty_path_rejected() {
+        let (net, n) = square();
+        assert_eq!(
+            Path::from_channels(&net, vec![]),
+            Err(RouteError::EmptyPath)
+        );
+        assert_eq!(Path::from_nodes(&net, &[n[0]]), Err(RouteError::EmptyPath));
+    }
+
+    #[test]
+    fn repeated_channel_rejected() {
+        let (net, n) = square();
+        // 0 -> 1 -> 0 -> 1 repeats channel 0->1.
+        let err = Path::from_nodes(&net, &[n[0], n[1], n[0], n[1]]).unwrap_err();
+        assert!(matches!(err, RouteError::RepeatedChannel(_)));
+    }
+
+    #[test]
+    fn node_revisit_is_allowed_but_not_simple() {
+        let (net, n) = square();
+        // 0 -> 1 -> 2 -> 1 revisits node 1 over distinct channels.
+        let p = Path::from_nodes(&net, &[n[0], n[1], n[2], n[1]]).unwrap();
+        assert!(!p.is_node_simple(&net));
+    }
+
+    #[test]
+    fn prefix_and_suffix() {
+        let (net, n) = square();
+        let p = Path::from_nodes(&net, &[n[0], n[1], n[2], n[3]]).unwrap();
+        let pre = p.prefix_to(&net, n[2]).unwrap();
+        assert_eq!(pre.nodes(&net), vec![n[0], n[1], n[2]]);
+        assert!(p.prefix_to(&net, n[0]).is_none());
+
+        let pos = p.find_node(&net, n[1]).unwrap();
+        let suf = p.suffix_from_pos(pos).unwrap();
+        assert_eq!(suf.nodes(&net), vec![n[1], n[2], n[3]]);
+        assert!(p.suffix_from_pos(3).is_none());
+    }
+
+    #[test]
+    fn contains_and_describe() {
+        let (net, n) = square();
+        let p = Path::from_nodes(&net, &[n[0], n[1]]).unwrap();
+        let c01 = net.find_channel(n[0], n[1]).unwrap();
+        let c12 = net.find_channel(n[1], n[2]).unwrap();
+        assert!(p.contains(c01));
+        assert!(!p.contains(c12));
+        assert_eq!(p.describe(&net), "s0 -> s1");
+    }
+
+    #[test]
+    fn vc_selector_used() {
+        let mut net = Network::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.add_channel_vc(a, b, 0);
+        let c1 = net.add_channel_vc(a, b, 1);
+        net.add_bidi(b, a);
+        let p = Path::from_nodes_with(&net, &[a, b], |net, u, v, _| net.find_channel_vc(u, v, 1))
+            .unwrap();
+        assert_eq!(p.channels(), &[c1]);
+    }
+}

@@ -1,0 +1,373 @@
+//! Structural properties of oblivious routing algorithms
+//! (Definitions 7–9 of the paper, plus minimality).
+//!
+//! These predicates drive the paper's Section 5 corollaries:
+//! suffix-closed (and hence coherent) oblivious algorithms cannot have
+//! unreachable cyclic configurations, so for them a cyclic channel
+//! dependency graph *does* imply deadlock. The experiments validate
+//! those corollaries by checking the predicates on a corpus of
+//! algorithms and comparing against exhaustive search.
+
+use wormnet::Network;
+
+use crate::table::TableRouting;
+
+/// Whether every routed path is a shortest path in the node graph
+/// ("minimal routing", paper Section 1).
+pub fn is_minimal(net: &Network, table: &TableRouting) -> bool {
+    table.iter().all(|(&(src, dst), path)| {
+        net.hop_distance(src, dst)
+            .map(|d| d == path.len())
+            .unwrap_or(false)
+    })
+}
+
+/// Definition 7: the algorithm is **prefix-closed** if whenever the
+/// path from `s` to `d` passes through `v` (first occurrence), the
+/// table's path from `s` to `v` is exactly that prefix.
+///
+/// Pairs that would be required but are unrouted count as violations
+/// only if the prefix exists; a completely unrouted pair `(s, v)`
+/// makes the algorithm non-prefix-closed because Definition 7 demands
+/// the partial path be *specified* by the algorithm.
+pub fn is_prefix_closed(net: &Network, table: &TableRouting) -> bool {
+    table.iter().all(|(&(src, _dst), path)| {
+        let nodes = path.nodes(net);
+        // Interior nodes only: skip source (pos 0) and final node.
+        nodes[1..nodes.len() - 1].iter().enumerate().all(|(i, &v)| {
+            if v == src {
+                // Path returned to its own source; the "first
+                // occurrence" of src is position 0 and the prefix is
+                // empty, which the definition does not constrain.
+                return true;
+            }
+            // Only the first occurrence of v is constrained.
+            let first_pos = nodes
+                .iter()
+                .position(|&n| n == v)
+                .expect("v is on the walk");
+            if first_pos != i + 1 {
+                return true;
+            }
+            match (path.prefix_to(net, v), table.path(src, v)) {
+                (Some(prefix), Some(registered)) => *registered == prefix,
+                _ => false,
+            }
+        })
+    })
+}
+
+/// Definition 8: the algorithm is **suffix-closed** if whenever the
+/// path from `s` to `d` passes through `v`, the table's path from `v`
+/// to `d` is the corresponding suffix.
+///
+/// For paths that visit `v` more than once, every occurrence's suffix
+/// is constrained; two distinct suffixes from the same `v` therefore
+/// make the algorithm non-suffix-closed (it could not be realized by a
+/// routing function of the form `R : N × N → C`, which the paper notes
+/// is always suffix-closed).
+pub fn is_suffix_closed(net: &Network, table: &TableRouting) -> bool {
+    table.iter().all(|(&(_src, dst), path)| {
+        let nodes = path.nodes(net);
+        (1..nodes.len() - 1).all(|pos| {
+            let v = nodes[pos];
+            if v == dst {
+                return true; // suffix from dst is empty
+            }
+            let suffix = path.suffix_from_pos(pos).expect("interior position");
+            match table.path(v, dst) {
+                Some(registered) => *registered == suffix,
+                None => false,
+            }
+        })
+    })
+}
+
+/// Whether no routed path visits any node more than once.
+pub fn never_revisits_nodes(net: &Network, table: &TableRouting) -> bool {
+    table.iter().all(|(_, path)| path.is_node_simple(net))
+}
+
+/// Whether the algorithm is realizable as a routing function of the
+/// form `R : N × N → C` — the output channel depends only on the
+/// *current node* and destination, not on the input channel.
+///
+/// This is the class of Corollary 1: such algorithms can have no
+/// unreachable cyclic configurations, so for them a cyclic CDG always
+/// means a reachable deadlock. Every node-function algorithm is
+/// suffix-closed (when total); the converse need not hold.
+pub fn is_node_function(net: &Network, table: &TableRouting) -> bool {
+    use std::collections::BTreeMap;
+    let mut choice: BTreeMap<(wormnet::NodeId, wormnet::NodeId), wormnet::ChannelId> =
+        BTreeMap::new();
+    for (&(_, dst), path) in table.iter() {
+        let nodes = path.nodes(net);
+        for (i, &c) in path.channels().iter().enumerate() {
+            let at = nodes[i];
+            match choice.get(&(at, dst)) {
+                Some(&prev) if prev != c => return false,
+                Some(_) => {}
+                None => {
+                    choice.insert((at, dst), c);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Definition 9: **coherent** = prefix-closed ∧ suffix-closed ∧ never
+/// routes a message through the same node twice.
+pub fn is_coherent(net: &Network, table: &TableRouting) -> bool {
+    never_revisits_nodes(net, table) && is_prefix_closed(net, table) && is_suffix_closed(net, table)
+}
+
+/// A structured property report used by analyses and examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PropertyReport {
+    /// All pairs routed.
+    pub total: bool,
+    /// Every path shortest.
+    pub minimal: bool,
+    /// Definition 7.
+    pub prefix_closed: bool,
+    /// Definition 8.
+    pub suffix_closed: bool,
+    /// No node revisits on any path.
+    pub node_simple: bool,
+    /// Definition 9.
+    pub coherent: bool,
+    /// Realizable as `R : N × N → C` (Corollary 1's class).
+    pub node_function: bool,
+}
+
+/// Evaluate all properties at once.
+pub fn analyze(net: &Network, table: &TableRouting) -> PropertyReport {
+    let prefix_closed = is_prefix_closed(net, table);
+    let suffix_closed = is_suffix_closed(net, table);
+    let node_simple = never_revisits_nodes(net, table);
+    PropertyReport {
+        total: table.is_total(net),
+        minimal: is_minimal(net, table),
+        prefix_closed,
+        suffix_closed,
+        node_simple,
+        coherent: prefix_closed && suffix_closed && node_simple,
+        node_function: is_node_function(net, table),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+    use wormnet::topology::{line, ring_unidirectional};
+    use wormnet::NodeId;
+
+    /// Clockwise routing on a unidirectional ring: the canonical
+    /// coherent (but deadlock-prone) oblivious algorithm.
+    fn clockwise4() -> (Network, Vec<NodeId>, TableRouting) {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = TableRouting::from_node_paths(&net, |s, d| {
+            let mut walk = vec![s];
+            let mut i = s.index();
+            while nodes[i] != d {
+                i = (i + 1) % 4;
+                walk.push(nodes[i]);
+            }
+            Some(walk)
+        })
+        .unwrap();
+        (net, nodes, table)
+    }
+
+    #[test]
+    fn clockwise_ring_is_coherent_but_not_minimal() {
+        let (net, _, table) = clockwise4();
+        let report = analyze(&net, &table);
+        assert!(report.total);
+        assert!(report.prefix_closed);
+        assert!(report.suffix_closed);
+        assert!(report.node_simple);
+        assert!(report.coherent);
+        // Unidirectional ring: the clockwise path IS the only path, so
+        // it is minimal here.
+        assert!(report.minimal);
+    }
+
+    #[test]
+    fn line_shortest_paths_are_coherent_and_minimal() {
+        let (net, nodes) = line(5);
+        let table = TableRouting::from_node_paths(&net, |s, d| {
+            let (si, di) = (s.index(), d.index());
+            let walk: Vec<NodeId> = if si < di {
+                (si..=di).map(|i| nodes[i]).collect()
+            } else {
+                (di..=si).rev().map(|i| nodes[i]).collect()
+            };
+            Some(walk)
+        })
+        .unwrap();
+        let report = analyze(&net, &table);
+        assert!(report.minimal && report.coherent && report.total);
+    }
+
+    #[test]
+    fn nonminimal_detected() {
+        let (net, nodes) = line(4);
+        let mut table = TableRouting::new();
+        // 0 -> 1 -> 2 -> 1 ... cannot reuse channels; instead make a
+        // detour 0 -> 1 -> 2 -> 3 for dst 3 (minimal) and 0 -> 1 -> 2
+        // for dst 2 (minimal), then an actual detour for (1, 0):
+        // 1 -> 2 -> 1 reuses nothing? it reuses node 1 and channel
+        // 1->2 only once, 2->1 once: legal path, nonminimal.
+        table
+            .insert(
+                &net,
+                nodes[1],
+                nodes[0],
+                Path::from_nodes(&net, &[nodes[1], nodes[2], nodes[1], nodes[0]]).unwrap(),
+            )
+            .unwrap();
+        assert!(!is_minimal(&net, &table));
+        assert!(!never_revisits_nodes(&net, &table));
+        assert!(!is_coherent(&net, &table));
+    }
+
+    #[test]
+    fn prefix_violation_detected() {
+        let (net, nodes) = line(4);
+        let mut table = TableRouting::new();
+        // (0,3) goes 0-1-2-3 but (0,2) goes 0-1-2? give (0,2) nothing:
+        // missing partial path => not prefix-closed.
+        table
+            .insert(
+                &net,
+                nodes[0],
+                nodes[3],
+                Path::from_nodes(&net, &[nodes[0], nodes[1], nodes[2], nodes[3]]).unwrap(),
+            )
+            .unwrap();
+        assert!(!is_prefix_closed(&net, &table));
+        // Register the consistent prefix and it passes.
+        table
+            .insert(
+                &net,
+                nodes[0],
+                nodes[1],
+                Path::from_nodes(&net, &[nodes[0], nodes[1]]).unwrap(),
+            )
+            .unwrap();
+        table
+            .insert(
+                &net,
+                nodes[0],
+                nodes[2],
+                Path::from_nodes(&net, &[nodes[0], nodes[1], nodes[2]]).unwrap(),
+            )
+            .unwrap();
+        assert!(is_prefix_closed(&net, &table));
+    }
+
+    #[test]
+    fn suffix_violation_detected() {
+        let (net, nodes) = line(4);
+        let mut table = TableRouting::new();
+        table
+            .insert(
+                &net,
+                nodes[0],
+                nodes[3],
+                Path::from_nodes(&net, &[nodes[0], nodes[1], nodes[2], nodes[3]]).unwrap(),
+            )
+            .unwrap();
+        // Missing (1,3) and (2,3) partial paths.
+        assert!(!is_suffix_closed(&net, &table));
+        table
+            .insert(
+                &net,
+                nodes[1],
+                nodes[3],
+                Path::from_nodes(&net, &[nodes[1], nodes[2], nodes[3]]).unwrap(),
+            )
+            .unwrap();
+        table
+            .insert(
+                &net,
+                nodes[2],
+                nodes[3],
+                Path::from_nodes(&net, &[nodes[2], nodes[3]]).unwrap(),
+            )
+            .unwrap();
+        assert!(is_suffix_closed(&net, &table));
+    }
+
+    #[test]
+    fn suffix_mismatch_detected() {
+        // Square with both directions available; (0,2) routed the long
+        // way 0-1-2 but (1,2) routed 1-0-3-2: suffix mismatch.
+        let (net, nodes) = ring_unidirectional(4);
+        // add reverse channels to allow alternate suffix
+        let mut net = net;
+        for i in 0..4 {
+            net.add_channel(nodes[(i + 1) % 4], nodes[i]);
+        }
+        let mut table = TableRouting::new();
+        table
+            .insert(
+                &net,
+                nodes[0],
+                nodes[2],
+                Path::from_nodes(&net, &[nodes[0], nodes[1], nodes[2]]).unwrap(),
+            )
+            .unwrap();
+        table
+            .insert(
+                &net,
+                nodes[1],
+                nodes[2],
+                Path::from_nodes(&net, &[nodes[1], nodes[0], nodes[3], nodes[2]]).unwrap(),
+            )
+            .unwrap();
+        assert!(!is_suffix_closed(&net, &table));
+    }
+
+    #[test]
+    fn node_function_classes() {
+        // Clockwise ring: next hop depends only on the current node —
+        // a genuine N x N -> C algorithm.
+        let (net, _, table) = clockwise4();
+        assert!(is_node_function(&net, &table));
+
+        // Dateline ring: the lane depends on the input channel, so it
+        // is NOT a node function.
+        use crate::algorithms::dateline_ring;
+        use wormnet::topology::ring_with_vcs;
+        let (net, nodes) = ring_with_vcs(5, 2);
+        let table = dateline_ring(&net, &nodes).unwrap();
+        assert!(!is_node_function(&net, &table));
+        assert!(!analyze(&net, &table).node_function);
+    }
+
+    #[test]
+    fn node_function_implies_suffix_closed_on_totals() {
+        // For total tables: a node-function algorithm's suffixes are
+        // forced, hence registered paths agree with them.
+        use crate::algorithms::dimension_order;
+        use wormnet::topology::Mesh;
+        let mesh = Mesh::new(&[3, 2]);
+        let table = dimension_order(&mesh).unwrap();
+        assert!(is_node_function(mesh.network(), &table));
+        assert!(is_suffix_closed(mesh.network(), &table));
+    }
+
+    #[test]
+    fn empty_table_is_vacuously_closed() {
+        let (net, _) = line(3);
+        let table = TableRouting::new();
+        assert!(is_prefix_closed(&net, &table));
+        assert!(is_suffix_closed(&net, &table));
+        assert!(is_minimal(&net, &table));
+        assert!(!analyze(&net, &table).total);
+    }
+}

@@ -1,0 +1,215 @@
+//! Table-driven oblivious routing: one path per ordered node pair
+//! (Definition 3's routing algorithm `R(src, dst)`).
+
+use std::collections::BTreeMap;
+
+use wormnet::{Network, NodeId};
+
+use crate::compiled::CompiledRouting;
+use crate::error::RouteError;
+use crate::path::Path;
+
+/// An oblivious routing algorithm represented extensionally: the
+/// single path each (source, destination) pair uses.
+///
+/// The map is ordered so iteration (and everything derived from it —
+/// dependency graphs, witness lists, reports) is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableRouting {
+    paths: BTreeMap<(NodeId, NodeId), Path>,
+}
+
+impl TableRouting {
+    /// An empty table.
+    pub fn new() -> Self {
+        TableRouting::default()
+    }
+
+    /// Register the path for `(src, dst)`.
+    ///
+    /// Fails if the pair is trivial, already present, or the path's
+    /// endpoints do not match.
+    pub fn insert(
+        &mut self,
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        path: Path,
+    ) -> Result<(), RouteError> {
+        if src == dst {
+            return Err(RouteError::TrivialPair(src));
+        }
+        if path.src(net) != src {
+            return Err(RouteError::WrongSource {
+                expected: src,
+                actual: path.src(net),
+            });
+        }
+        if path.dst(net) != dst {
+            return Err(RouteError::WrongDestination {
+                expected: dst,
+                actual: path.dst(net),
+            });
+        }
+        if self.paths.contains_key(&(src, dst)) {
+            return Err(RouteError::DuplicatePair(src, dst));
+        }
+        self.paths.insert((src, dst), path);
+        Ok(())
+    }
+
+    /// Build a table by calling `route` for every ordered node pair.
+    /// `route` returns the node walk for the pair (or `None` to leave
+    /// the pair unrouted — used by partial algorithms in tests).
+    pub fn from_node_paths(
+        net: &Network,
+        mut route: impl FnMut(NodeId, NodeId) -> Option<Vec<NodeId>>,
+    ) -> Result<Self, RouteError> {
+        Self::from_paths_with(net, |net, s, d| {
+            route(s, d).map(|walk| Path::from_nodes(net, &walk))
+        })
+    }
+
+    /// Build a table from a closure producing `Path` results directly
+    /// (used by virtual-channel algorithms that pick lanes per hop).
+    pub fn from_paths_with(
+        net: &Network,
+        mut route: impl FnMut(&Network, NodeId, NodeId) -> Option<Result<Path, RouteError>>,
+    ) -> Result<Self, RouteError> {
+        let mut table = TableRouting::new();
+        for src in net.nodes() {
+            for dst in net.nodes() {
+                if src == dst {
+                    continue;
+                }
+                if let Some(path) = route(net, src, dst) {
+                    table.insert(net, src, dst, path?)?;
+                }
+            }
+        }
+        Ok(table)
+    }
+
+    /// The path for a pair, if routed.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<&Path> {
+        self.paths.get(&(src, dst))
+    }
+
+    /// Iterate `((src, dst), path)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Path)> {
+        self.paths.iter()
+    }
+
+    /// Number of routed pairs.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether no pairs are routed.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Whether every ordered pair of distinct nodes is routed — the
+    /// paper's networks are strongly connected and their algorithms
+    /// route all pairs ("a node can generate messages ... destined for
+    /// any other node").
+    pub fn is_total(&self, net: &Network) -> bool {
+        let n = net.node_count();
+        self.paths.len() == n * n - n
+    }
+
+    /// Compile the table into a routing *function* `R : C × N → C`
+    /// (Definition 2). Fails if two paths disagree about the output
+    /// channel for the same (input channel, destination) pair.
+    pub fn compile(&self, net: &Network) -> Result<CompiledRouting, RouteError> {
+        CompiledRouting::from_table(net, self).map_err(RouteError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormnet::topology::ring_unidirectional;
+
+    fn ring4() -> (Network, Vec<NodeId>) {
+        ring_unidirectional(4)
+    }
+
+    /// Clockwise walk from src to dst on the ring.
+    fn cw_walk(nodes: &[NodeId], src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let n = nodes.len();
+        let s = nodes.iter().position(|&x| x == src).unwrap();
+        let mut walk = vec![src];
+        let mut i = s;
+        while nodes[i] != dst {
+            i = (i + 1) % n;
+            walk.push(nodes[i]);
+        }
+        walk
+    }
+
+    #[test]
+    fn builds_total_table() {
+        let (net, nodes) = ring4();
+        let table =
+            TableRouting::from_node_paths(&net, |s, d| Some(cw_walk(&nodes, s, d))).unwrap();
+        assert!(table.is_total(&net));
+        assert_eq!(table.len(), 12);
+        assert_eq!(table.path(nodes[0], nodes[3]).unwrap().len(), 3);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn partial_table_is_not_total() {
+        let (net, nodes) = ring4();
+        let table = TableRouting::from_node_paths(&net, |s, d| {
+            (s == nodes[0]).then(|| cw_walk(&nodes, s, d))
+        })
+        .unwrap();
+        assert!(!table.is_total(&net));
+        assert_eq!(table.len(), 3);
+        assert!(table.path(nodes[1], nodes[2]).is_none());
+    }
+
+    #[test]
+    fn endpoint_mismatches_rejected() {
+        let (net, nodes) = ring4();
+        let p01 = Path::from_nodes(&net, &[nodes[0], nodes[1]]).unwrap();
+        let mut t = TableRouting::new();
+        assert!(matches!(
+            t.insert(&net, nodes[1], nodes[0], p01.clone()),
+            Err(RouteError::WrongSource { .. })
+        ));
+        assert!(matches!(
+            t.insert(&net, nodes[0], nodes[2], p01.clone()),
+            Err(RouteError::WrongDestination { .. })
+        ));
+        assert!(matches!(
+            t.insert(&net, nodes[0], nodes[0], p01),
+            Err(RouteError::TrivialPair(_))
+        ));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let (net, nodes) = ring4();
+        let p = Path::from_nodes(&net, &[nodes[0], nodes[1]]).unwrap();
+        let mut t = TableRouting::new();
+        t.insert(&net, nodes[0], nodes[1], p.clone()).unwrap();
+        assert_eq!(
+            t.insert(&net, nodes[0], nodes[1], p),
+            Err(RouteError::DuplicatePair(nodes[0], nodes[1]))
+        );
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let (net, nodes) = ring4();
+        let t = TableRouting::from_node_paths(&net, |s, d| Some(cw_walk(&nodes, s, d))).unwrap();
+        let keys1: Vec<_> = t.iter().map(|(k, _)| *k).collect();
+        let keys2: Vec<_> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys1, keys2);
+        assert!(keys1.windows(2).all(|w| w[0] < w[1]));
+    }
+}

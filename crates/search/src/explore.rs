@@ -1,0 +1,731 @@
+//! The state-space exploration itself.
+
+use std::collections::{BTreeMap, HashSet};
+
+use wormnet::ChannelId;
+use wormsim::{Decisions, MessageId, Sim, SimState};
+
+use crate::verdict::{SearchResult, Verdict, Witness};
+
+/// Search parameters.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Total adversarial stall-cycles available across the whole run
+    /// (0 reproduces the paper's base model: routers always forward
+    /// when the output is free).
+    pub stall_budget: u32,
+    /// Maximum distinct states to visit before giving up with
+    /// [`Verdict::Inconclusive`].
+    pub max_states: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            stall_budget: 0,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Config with a stall budget.
+    pub fn with_stalls(budget: u32) -> Self {
+        SearchConfig {
+            stall_budget: budget,
+            ..SearchConfig::default()
+        }
+    }
+}
+
+/// Exhaustively explore all adversary behaviours of `sim`.
+///
+/// Explores every injection schedule, every arbitration outcome, and
+/// every stall placement within the budget. Returns a deadlock witness
+/// if any interleaving deadlocks, or an exact deadlock-freedom verdict
+/// for this message set.
+pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
+    // Channels that can ever be occupied: the union of message paths.
+    let mut relevant: Vec<usize> = sim
+        .messages()
+        .flat_map(|m| sim.path(m).iter().map(|c| c.index()))
+        .collect();
+    relevant.sort_unstable();
+    relevant.dedup();
+
+    let initial = sim.initial_state();
+    let mut visited: HashSet<Vec<u8>> = HashSet::new();
+    visited.insert(encode(sim, &initial, config.stall_budget, &relevant));
+
+    struct Frame {
+        state: SimState,
+        budget: u32,
+        options: Vec<Decisions>,
+        next: usize,
+    }
+
+    let mut stack = vec![Frame {
+        options: decision_options(sim, &initial, config.stall_budget),
+        state: initial,
+        budget: config.stall_budget,
+        next: 0,
+    }];
+    let mut path: Vec<Decisions> = Vec::new();
+
+    while let Some(frame) = stack.last_mut() {
+        if frame.next >= frame.options.len() {
+            stack.pop();
+            path.pop();
+            continue;
+        }
+        let decision = frame.options[frame.next].clone();
+        frame.next += 1;
+
+        let mut state = frame.state.clone();
+        let report = sim.step(&mut state, &decision);
+        if !report.moved {
+            // Nothing happened: a pure self-loop (possibly burning
+            // stall budget) — always dominated, skip.
+            continue;
+        }
+        let budget = frame.budget - decision.stalls.len() as u32;
+        let key = encode(sim, &state, budget, &relevant);
+        if !visited.insert(key) {
+            continue;
+        }
+        if visited.len() > config.max_states {
+            return SearchResult {
+                verdict: Verdict::Inconclusive,
+                states_explored: visited.len(),
+            };
+        }
+        path.push(decision);
+        if let Some(members) = sim.find_deadlock(&state) {
+            return SearchResult {
+                verdict: Verdict::DeadlockReachable(Witness {
+                    decisions: path,
+                    members,
+                }),
+                states_explored: visited.len(),
+            };
+        }
+        if sim.all_delivered(&state) {
+            // Terminal success state: no deadlock beyond here.
+            path.pop();
+            continue;
+        }
+        let options = decision_options(sim, &state, budget);
+        stack.push(Frame {
+            state,
+            budget,
+            options,
+            next: 0,
+        });
+    }
+
+    SearchResult {
+        verdict: Verdict::DeadlockFree,
+        states_explored: visited.len(),
+    }
+}
+
+/// Exhaustively search for a state satisfying `target` instead of a
+/// deadlock: the literal Definition 5 question — is this *specific*
+/// configuration reachable from the empty network?
+///
+/// Used by `worm-core` to certify that a static deadlock candidate is
+/// an unreachable configuration in the paper's exact sense (not merely
+/// that no deadlock of any shape is reachable).
+pub fn explore_until(
+    sim: &Sim,
+    config: &SearchConfig,
+    mut target: impl FnMut(&Sim, &SimState) -> bool,
+) -> SearchResult {
+    let mut relevant: Vec<usize> = sim
+        .messages()
+        .flat_map(|m| sim.path(m).iter().map(|c| c.index()))
+        .collect();
+    relevant.sort_unstable();
+    relevant.dedup();
+
+    let initial = sim.initial_state();
+    if target(sim, &initial) {
+        return SearchResult {
+            verdict: Verdict::DeadlockReachable(Witness {
+                decisions: Vec::new(),
+                members: Vec::new(),
+            }),
+            states_explored: 1,
+        };
+    }
+    let mut visited: HashSet<Vec<u8>> = HashSet::new();
+    visited.insert(encode(sim, &initial, config.stall_budget, &relevant));
+
+    struct Frame {
+        state: SimState,
+        budget: u32,
+        options: Vec<Decisions>,
+        next: usize,
+    }
+    let mut stack = vec![Frame {
+        options: decision_options(sim, &initial, config.stall_budget),
+        state: initial,
+        budget: config.stall_budget,
+        next: 0,
+    }];
+    let mut path: Vec<Decisions> = Vec::new();
+
+    while let Some(frame) = stack.last_mut() {
+        if frame.next >= frame.options.len() {
+            stack.pop();
+            path.pop();
+            continue;
+        }
+        let decision = frame.options[frame.next].clone();
+        frame.next += 1;
+        let mut state = frame.state.clone();
+        let report = sim.step(&mut state, &decision);
+        if !report.moved {
+            continue;
+        }
+        let budget = frame.budget - decision.stalls.len() as u32;
+        if !visited.insert(encode(sim, &state, budget, &relevant)) {
+            continue;
+        }
+        if visited.len() > config.max_states {
+            return SearchResult {
+                verdict: Verdict::Inconclusive,
+                states_explored: visited.len(),
+            };
+        }
+        path.push(decision);
+        if target(sim, &state) {
+            return SearchResult {
+                verdict: Verdict::DeadlockReachable(Witness {
+                    decisions: path,
+                    members: sim.find_deadlock(&state).unwrap_or_default(),
+                }),
+                states_explored: visited.len(),
+            };
+        }
+        if sim.all_delivered(&state) {
+            path.pop();
+            continue;
+        }
+        let options = decision_options(sim, &state, budget);
+        stack.push(Frame {
+            state,
+            budget,
+            options,
+            next: 0,
+        });
+    }
+    SearchResult {
+        verdict: Verdict::DeadlockFree,
+        states_explored: visited.len(),
+    }
+}
+
+/// Like [`explore`], but breadth-first, so a returned witness is a
+/// *shortest* deadlock schedule (fewest cycles). Costs more memory
+/// (parent pointers per state); use on small scenarios when the
+/// witness will be shown to a human.
+pub fn explore_shortest(sim: &Sim, config: &SearchConfig) -> SearchResult {
+    use std::collections::VecDeque;
+    let mut relevant: Vec<usize> = sim
+        .messages()
+        .flat_map(|m| sim.path(m).iter().map(|c| c.index()))
+        .collect();
+    relevant.sort_unstable();
+    relevant.dedup();
+
+    let initial = sim.initial_state();
+    let mut visited: HashSet<Vec<u8>> = HashSet::new();
+    visited.insert(encode(sim, &initial, config.stall_budget, &relevant));
+
+    // Each queue entry keeps the decision history from the root; state
+    // spaces here are small enough that sharing via Vec clones is
+    // acceptable and keeps the code obvious.
+    let mut queue: VecDeque<(SimState, u32, Vec<Decisions>)> = VecDeque::new();
+    queue.push_back((initial, config.stall_budget, Vec::new()));
+
+    while let Some((state, budget, history)) = queue.pop_front() {
+        for decision in decision_options(sim, &state, budget) {
+            let mut next = state.clone();
+            let report = sim.step(&mut next, &decision);
+            if !report.moved {
+                continue;
+            }
+            let next_budget = budget - decision.stalls.len() as u32;
+            if !visited.insert(encode(sim, &next, next_budget, &relevant)) {
+                continue;
+            }
+            if visited.len() > config.max_states {
+                return SearchResult {
+                    verdict: Verdict::Inconclusive,
+                    states_explored: visited.len(),
+                };
+            }
+            let mut next_history = history.clone();
+            next_history.push(decision);
+            if let Some(members) = sim.find_deadlock(&next) {
+                return SearchResult {
+                    verdict: Verdict::DeadlockReachable(Witness {
+                        decisions: next_history,
+                        members,
+                    }),
+                    states_explored: visited.len(),
+                };
+            }
+            if !sim.all_delivered(&next) {
+                queue.push_back((next, next_budget, next_history));
+            }
+        }
+    }
+    SearchResult {
+        verdict: Verdict::DeadlockFree,
+        states_explored: visited.len(),
+    }
+}
+
+/// Smallest stall budget (up to `max_budget`) with which the adversary
+/// can force a deadlock; `None` if even `max_budget` is insufficient.
+/// The second component is the per-budget result trail.
+pub fn min_stall_budget(
+    sim: &Sim,
+    max_budget: u32,
+    max_states: usize,
+) -> (Option<u32>, Vec<SearchResult>) {
+    let mut trail = Vec::new();
+    for budget in 0..=max_budget {
+        let result = explore(
+            sim,
+            &SearchConfig {
+                stall_budget: budget,
+                max_states,
+            },
+        );
+        let found = result.verdict.is_deadlock();
+        trail.push(result);
+        if found {
+            return (Some(budget), trail);
+        }
+    }
+    (None, trail)
+}
+
+/// [`min_stall_budget`] with the per-budget searches running on
+/// parallel threads (crossbeam scoped spawn). Budgets are independent
+/// explorations, so this is an embarrassingly parallel scan; results
+/// are identical to the sequential version (each exploration is
+/// deterministic), only wall-clock differs.
+pub fn min_stall_budget_parallel(
+    sim: &Sim,
+    max_budget: u32,
+    max_states: usize,
+) -> (Option<u32>, Vec<SearchResult>) {
+    let results: Vec<SearchResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..=max_budget)
+            .map(|budget| {
+                scope.spawn(move |_| {
+                    explore(
+                        sim,
+                        &SearchConfig {
+                            stall_budget: budget,
+                            max_states,
+                        },
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let min = results
+        .iter()
+        .position(|r| r.verdict.is_deadlock())
+        .map(|i| i as u32);
+    // Trail semantics match the sequential scan: stop at the first
+    // deadlock budget.
+    let cut = min.map(|m| m as usize + 1).unwrap_or(results.len());
+    (min, results.into_iter().take(cut).collect())
+}
+
+/// Replay a witness from the empty network; returns the deadlock
+/// members found at the end (used to validate witnesses in tests and
+/// reports).
+pub fn replay(sim: &Sim, witness: &Witness) -> Option<Vec<MessageId>> {
+    let mut state = sim.initial_state();
+    for d in &witness.decisions {
+        sim.step(&mut state, d);
+    }
+    sim.find_deadlock(&state)
+}
+
+/// Replay a witness while recording channel occupancy, and render the
+/// channels × time grid (see [`wormsim::trace::TraceGrid`]) — a visual
+/// proof of how the deadlock forms.
+pub fn render_witness(sim: &Sim, net: &wormnet::Network, witness: &Witness) -> String {
+    let mut state = sim.initial_state();
+    let mut grid = wormsim::trace::TraceGrid::new(sim);
+    grid.push(&state);
+    for d in &witness.decisions {
+        sim.step(&mut state, d);
+        grid.push(&state);
+    }
+    grid.render(net)
+}
+
+/// All decision combinations worth exploring from `state`.
+fn decision_options(sim: &Sim, state: &SimState, budget: u32) -> Vec<Decisions> {
+    // Messages that could actually inject now: pending, and their
+    // first channel is empty and unowned (others are no-ops).
+    let injectable: Vec<MessageId> = sim
+        .pending(state)
+        .into_iter()
+        .filter(|&m| state.channels[sim.path(m)[0].index()].is_none())
+        .collect();
+    // Messages an adversary could usefully stall: in flight.
+    let stallable: Vec<MessageId> = sim
+        .messages()
+        .filter(|&m| state.is_started(m) && !state.is_delivered(m, sim.length(m)))
+        .collect();
+
+    assert!(
+        injectable.len() <= 16 && stallable.len() <= 16,
+        "search is meant for small scenarios"
+    );
+
+    let mut out = Vec::new();
+    for inject in subsets(&injectable) {
+        let stall_subsets: Vec<Vec<MessageId>> = if budget == 0 {
+            vec![Vec::new()]
+        } else {
+            subsets(&stallable)
+                .into_iter()
+                .filter(|s| s.len() as u32 <= budget)
+                .collect()
+        };
+        for stalls in stall_subsets {
+            let requests = sim.header_requests(state, &inject, &stalls);
+            let conflicts: Vec<(ChannelId, Vec<MessageId>)> = requests
+                .into_iter()
+                .filter(|(_, reqs)| reqs.len() >= 2)
+                .collect();
+            expand_winners(
+                &conflicts,
+                0,
+                &mut BTreeMap::new(),
+                &inject,
+                &stalls,
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
+fn expand_winners(
+    conflicts: &[(ChannelId, Vec<MessageId>)],
+    idx: usize,
+    chosen: &mut BTreeMap<ChannelId, MessageId>,
+    inject: &[MessageId],
+    stalls: &[MessageId],
+    out: &mut Vec<Decisions>,
+) {
+    if idx == conflicts.len() {
+        out.push(Decisions {
+            inject: inject.to_vec(),
+            stalls: stalls.to_vec(),
+            winners: chosen.clone(),
+            // Channel-level skew is subsumed by message stalls for
+            // reachability purposes; the search never freezes channels.
+            frozen: Vec::new(),
+        });
+        return;
+    }
+    let (chan, reqs) = &conflicts[idx];
+    for &m in reqs {
+        chosen.insert(*chan, m);
+        expand_winners(conflicts, idx + 1, chosen, inject, stalls, out);
+    }
+    chosen.remove(chan);
+}
+
+/// All subsets of a small slice (including the empty set).
+fn subsets(items: &[MessageId]) -> Vec<Vec<MessageId>> {
+    let n = items.len();
+    (0..(1usize << n))
+        .map(|mask| {
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| items[i])
+                .collect()
+        })
+        .collect()
+}
+
+/// Compact canonical encoding of (state, budget) over the channels
+/// that can ever be occupied. Message lengths are < 2^16 but every
+/// experiment uses < 256 flits, so windows fit in bytes; the encoder
+/// falls back to two bytes per field when needed.
+fn encode(sim: &Sim, state: &SimState, budget: u32, relevant: &[usize]) -> Vec<u8> {
+    let wide = sim.messages().any(|m| sim.length(m) >= 256);
+    let mut key = Vec::with_capacity(relevant.len() * 3 + state.injected.len() * 2 + 4);
+    key.extend_from_slice(&budget.to_le_bytes());
+    let push16 = |key: &mut Vec<u8>, v: u16, wide: bool| {
+        if wide {
+            key.extend_from_slice(&v.to_le_bytes());
+        } else {
+            key.push(v as u8);
+        }
+    };
+    for &ci in relevant {
+        match state.channels[ci] {
+            None => key.push(0xFF),
+            Some(occ) => {
+                key.push(occ.msg.index() as u8);
+                push16(&mut key, occ.lo, wide);
+                push16(&mut key, occ.hi, wide);
+            }
+        }
+    }
+    for i in 0..state.injected.len() {
+        push16(&mut key, state.injected[i], wide);
+        push16(&mut key, state.consumed[i], wide);
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormnet::topology::{line, ring_unidirectional};
+    use wormnet::NodeId;
+    use wormroute::algorithms::{clockwise_ring, shortest_path_table};
+    use wormsim::MessageSpec;
+
+    #[test]
+    fn line_traffic_is_deadlock_free() {
+        let (net, _) = line(4);
+        let table = shortest_path_table(&net).unwrap();
+        let specs = vec![
+            MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), 3),
+            MessageSpec::new(NodeId::from_index(3), NodeId::from_index(0), 3),
+            MessageSpec::new(NodeId::from_index(1), NodeId::from_index(3), 2),
+        ];
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let result = explore(&sim, &SearchConfig::default());
+        assert!(result.verdict.is_free(), "{:?}", result.verdict);
+        assert!(result.states_explored > 1);
+    }
+
+    #[test]
+    fn ring_deadlock_found_with_witness() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..4)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 2))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let result = explore(&sim, &SearchConfig::default());
+        let Verdict::DeadlockReachable(witness) = &result.verdict else {
+            panic!("expected deadlock, got {:?}", result.verdict);
+        };
+        assert_eq!(witness.members.len(), 4);
+        assert_eq!(witness.stalls_used(), 0);
+        // The witness replays to the same deadlock.
+        let members = replay(&sim, witness).expect("witness must deadlock");
+        assert_eq!(&members, &witness.members);
+    }
+
+    #[test]
+    fn two_messages_on_ring_cannot_deadlock() {
+        // Two messages can't close a 4-ring if their spans can't cover
+        // it: use 2-hop messages with length 2: each holds at most 2
+        // channels; two opposite messages never wait on each other.
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs = vec![
+            MessageSpec::new(nodes[0], nodes[2], 2),
+            MessageSpec::new(nodes[2], nodes[0], 2),
+        ];
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let result = explore(&sim, &SearchConfig::default());
+        assert!(result.verdict.is_free(), "{:?}", result.verdict);
+    }
+
+    #[test]
+    fn two_long_messages_on_ring_do_deadlock() {
+        // Two 3-hop messages starting at opposite ring nodes: each can
+        // hold two channels while waiting for a third the other owns.
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs = vec![
+            MessageSpec::new(nodes[0], nodes[3], 3),
+            MessageSpec::new(nodes[2], nodes[1], 3),
+        ];
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let result = explore(&sim, &SearchConfig::default());
+        assert!(result.verdict.is_deadlock(), "{:?}", result.verdict);
+    }
+
+    #[test]
+    fn stall_budget_monotone() {
+        let (net, _) = line(3);
+        let table = shortest_path_table(&net).unwrap();
+        let specs = vec![
+            MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2),
+            MessageSpec::new(NodeId::from_index(2), NodeId::from_index(0), 2),
+        ];
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        // A line cannot deadlock no matter the budget.
+        let (min, trail) = min_stall_budget(&sim, 2, 1_000_000);
+        assert_eq!(min, None);
+        assert_eq!(trail.len(), 3);
+        assert!(trail.iter().all(|r| r.verdict.is_free()));
+    }
+
+    #[test]
+    fn inconclusive_on_tiny_state_budget() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..4)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 2))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let result = explore(
+            &sim,
+            &SearchConfig {
+                stall_budget: 0,
+                max_states: 1,
+            },
+        );
+        // With a 1-state budget we either found the deadlock very
+        // early (possible: DFS order) or gave up.
+        assert!(matches!(result.verdict, Verdict::Inconclusive) || result.verdict.is_deadlock());
+    }
+
+    #[test]
+    fn explore_until_finds_specific_configuration() {
+        // On the 4-ring, target the exact configuration where every
+        // channel is owned (each message holding one channel).
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..4)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 2))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let result = explore_until(&sim, &SearchConfig::default(), |_, state| {
+            state.channels.iter().all(Option::is_some)
+        });
+        assert!(result.verdict.is_deadlock(), "{:?}", result.verdict);
+
+        // An impossible target: a channel owned by a message that
+        // never uses it.
+        let result = explore_until(&sim, &SearchConfig::default(), |sim, state| {
+            let c = sim.path(MessageId::from_index(0))[0];
+            matches!(state.channels[c.index()], Some(occ) if occ.msg == MessageId::from_index(1))
+        });
+        assert!(result.verdict.is_free());
+    }
+
+    #[test]
+    fn shortest_witness_is_no_longer_than_dfs() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..4)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 2))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let dfs = explore(&sim, &SearchConfig::default());
+        let bfs = explore_shortest(&sim, &SearchConfig::default());
+        let (Verdict::DeadlockReachable(wd), Verdict::DeadlockReachable(wb)) =
+            (&dfs.verdict, &bfs.verdict)
+        else {
+            panic!("both must find the deadlock");
+        };
+        assert!(wb.cycles() <= wd.cycles());
+        assert!(replay(&sim, wb).is_some(), "shortest witness replays");
+        // The fastest 4-ring deadlock: all four inject in one cycle,
+        // after which each header's next channel is already owned by
+        // its neighbour — the wait-for cycle exists immediately.
+        assert_eq!(wb.cycles(), 1);
+    }
+
+    #[test]
+    fn shortest_agrees_on_freedom() {
+        use wormroute::algorithms::shortest_path_table;
+        let (net, _) = line(3);
+        let table = shortest_path_table(&net).unwrap();
+        let specs = vec![
+            MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2),
+            MessageSpec::new(NodeId::from_index(2), NodeId::from_index(0), 2),
+        ];
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        assert!(explore_shortest(&sim, &SearchConfig::default())
+            .verdict
+            .is_free());
+    }
+
+    #[test]
+    fn parallel_budget_scan_matches_sequential() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..4)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 2))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let (seq_min, seq_trail) = min_stall_budget(&sim, 3, 1_000_000);
+        let (par_min, par_trail) = min_stall_budget_parallel(&sim, 3, 1_000_000);
+        assert_eq!(seq_min, par_min);
+        assert_eq!(seq_trail.len(), par_trail.len());
+        for (a, b) in seq_trail.iter().zip(&par_trail) {
+            assert_eq!(a.verdict.is_deadlock(), b.verdict.is_deadlock());
+            assert_eq!(a.states_explored, b.states_explored);
+        }
+    }
+
+    #[test]
+    fn parallel_scan_on_deadlock_free_network() {
+        use wormroute::algorithms::shortest_path_table;
+        let (net, _) = line(3);
+        let table = shortest_path_table(&net).unwrap();
+        let specs = vec![
+            MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2),
+            MessageSpec::new(NodeId::from_index(2), NodeId::from_index(0), 2),
+        ];
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let (min, trail) = min_stall_budget_parallel(&sim, 2, 1_000_000);
+        assert_eq!(min, None);
+        assert_eq!(trail.len(), 3);
+    }
+
+    #[test]
+    fn subsets_enumerates_power_set() {
+        let items: Vec<MessageId> = (0..3).map(MessageId::from_index).collect();
+        let subs = subsets(&items);
+        assert_eq!(subs.len(), 8);
+        assert!(subs.iter().any(|s| s.is_empty()));
+        assert!(subs.iter().any(|s| s.len() == 3));
+    }
+
+    #[test]
+    fn search_agrees_with_adversarial_runner_on_ring() {
+        use wormsim::runner::{ArbitrationPolicy, Runner};
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..4)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 4))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let search = explore(&sim, &SearchConfig::default());
+        let mut runner = Runner::new(&sim, ArbitrationPolicy::Adversarial { favored: vec![] });
+        let run = runner.run(1_000);
+        assert_eq!(search.verdict.is_deadlock(), run.is_deadlock());
+    }
+}

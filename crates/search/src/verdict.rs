@@ -1,0 +1,92 @@
+//! Search verdicts and deadlock witnesses.
+
+use wormsim::{Decisions, MessageId};
+
+/// A reproducible schedule driving the network into deadlock: the
+/// per-cycle decisions from the empty network to the deadlocked
+/// configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// Decisions for cycles `0..n`.
+    pub decisions: Vec<Decisions>,
+    /// The messages forming the wait-for cycle at the end.
+    pub members: Vec<MessageId>,
+}
+
+impl Witness {
+    /// Number of cycles until deadlock.
+    pub fn cycles(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Total adversarial stall-cycles the witness uses.
+    pub fn stalls_used(&self) -> usize {
+        self.decisions.iter().map(|d| d.stalls.len()).sum()
+    }
+}
+
+/// Outcome of an exhaustive exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Some interleaving deadlocks; here is one.
+    DeadlockReachable(Witness),
+    /// No interleaving of the given messages (at the given lengths and
+    /// stall budget) can deadlock. Exact, not a timeout.
+    DeadlockFree,
+    /// The state budget ran out before the space was exhausted.
+    Inconclusive,
+}
+
+impl Verdict {
+    /// Whether the verdict proves a reachable deadlock.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, Verdict::DeadlockReachable(_))
+    }
+
+    /// Whether the verdict proves deadlock freedom (within parameters).
+    pub fn is_free(&self) -> bool {
+        matches!(self, Verdict::DeadlockFree)
+    }
+}
+
+/// Verdict plus exploration statistics.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Distinct states visited.
+    pub states_explored: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn witness_accessors() {
+        let w = Witness {
+            decisions: vec![
+                Decisions {
+                    stalls: vec![MessageId::from_index(0)],
+                    ..Decisions::default()
+                },
+                Decisions::default(),
+            ],
+            members: vec![MessageId::from_index(0), MessageId::from_index(1)],
+        };
+        assert_eq!(w.cycles(), 2);
+        assert_eq!(w.stalls_used(), 1);
+    }
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(Verdict::DeadlockFree.is_free());
+        assert!(!Verdict::DeadlockFree.is_deadlock());
+        assert!(!Verdict::Inconclusive.is_free());
+        let w = Witness {
+            decisions: vec![],
+            members: vec![],
+        };
+        assert!(Verdict::DeadlockReachable(w).is_deadlock());
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulator construction errors.
+
+use core::fmt;
+
+use wormnet::NodeId;
+
+/// Errors reported while setting up a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The routing table has no path for a message's (src, dst) pair.
+    Unrouted(NodeId, NodeId),
+    /// A message was specified with zero flits.
+    ZeroLength,
+    /// Simulations are limited to `u16::MAX` flits per message so
+    /// occupancy windows stay compact; longer messages are outside any
+    /// experiment's range.
+    TooLong(usize),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Unrouted(s, d) => write!(f, "no route for message {s} -> {d}"),
+            SimError::ZeroLength => write!(f, "messages must have at least one flit"),
+            SimError::TooLong(l) => write!(f, "message length {l} exceeds the u16 flit limit"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(
+            SimError::Unrouted(NodeId::from_index(0), NodeId::from_index(1))
+                .to_string()
+                .contains("n0")
+        );
+        assert!(SimError::ZeroLength.to_string().contains("one flit"));
+        assert!(SimError::TooLong(70_000).to_string().contains("70000"));
+    }
+}

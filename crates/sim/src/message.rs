@@ -1,0 +1,86 @@
+//! Message identities and specifications.
+
+use core::fmt;
+
+use wormnet::NodeId;
+
+/// Dense identifier of a message within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub(crate) u32);
+
+impl MessageId {
+    /// Construct from a raw index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        MessageId(u32::try_from(index).expect("message index exceeds u32 range"))
+    }
+
+    /// The dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Specification of one message to simulate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageSpec {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Length in flits (≥ 1; the header counts as a flit).
+    pub length: usize,
+    /// Earliest cycle at which the message may attempt injection.
+    /// Policy runners respect this; the search engine treats release
+    /// times as part of its nondeterminism instead.
+    pub inject_at: u64,
+}
+
+impl MessageSpec {
+    /// Convenience constructor for immediate injection.
+    pub fn new(src: NodeId, dst: NodeId, length: usize) -> Self {
+        MessageSpec {
+            src,
+            dst,
+            length,
+            inject_at: 0,
+        }
+    }
+
+    /// Same message released at a specific cycle.
+    pub fn at(mut self, cycle: u64) -> Self {
+        self.inject_at = cycle;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        assert_eq!(MessageId::from_index(5).index(), 5);
+        assert_eq!(format!("{}", MessageId::from_index(5)), "m5");
+    }
+
+    #[test]
+    fn spec_builder() {
+        let s = MessageSpec::new(NodeId::from_index(0), NodeId::from_index(1), 3).at(7);
+        assert_eq!(s.length, 3);
+        assert_eq!(s.inject_at, 7);
+    }
+}

@@ -1,0 +1,513 @@
+//! Policy-driven simulation runner.
+//!
+//! [`Runner`] drives the engine with concrete arbitration policies and
+//! an optional stall plan, collecting [`crate::stats::Stats`]. The
+//! adversarial policy implements the paper's Section 3 assumption:
+//! "when multiple messages arrive simultaneously and request the same
+//! output channel, and one of these messages can lead to a deadlock,
+//! that message is assumed to acquire the channel."
+
+use std::collections::BTreeMap;
+
+use wormnet::ChannelId;
+
+use crate::engine::{Decisions, Sim};
+use crate::message::MessageId;
+use crate::skew::SkewModel;
+use crate::state::SimState;
+use crate::stats::Stats;
+
+/// Arbitration policies for contended channels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArbitrationPolicy {
+    /// Lowest message id wins — deterministic fixed priority.
+    LowestId,
+    /// Rotate priority per channel so no requester starves
+    /// (assumption 5 of the paper).
+    RoundRobin,
+    /// The message that has been waiting for this channel the longest
+    /// wins (FIFO-like; ties to lowest id).
+    OldestFirst,
+    /// The paper's adversarial policy: the message most likely to
+    /// complete a deadlock wins. Heuristic: most remaining hops; an
+    /// explicit priority list (e.g. the messages of a deadlock
+    /// candidate) takes precedence when supplied.
+    Adversarial {
+        /// Messages to favour unconditionally, in priority order.
+        favored: Vec<MessageId>,
+    },
+}
+
+/// Terminal result of a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every message was delivered.
+    Delivered {
+        /// Cycle count at completion.
+        cycles: u64,
+    },
+    /// A wait-for cycle formed: permanent deadlock.
+    Deadlock {
+        /// The messages in the wait-for cycle.
+        members: Vec<MessageId>,
+        /// Cycle at which the deadlock was detected.
+        at_cycle: u64,
+    },
+    /// The cycle budget ran out first.
+    Timeout {
+        /// The budget that was exhausted.
+        cycles: u64,
+    },
+}
+
+impl Outcome {
+    /// Whether the run ended in deadlock.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, Outcome::Deadlock { .. })
+    }
+}
+
+/// A plan of adversarial stalls: message → cycles at which it is
+/// frozen.
+pub type StallPlan = BTreeMap<MessageId, Vec<u64>>;
+
+/// Drives a [`Sim`] with a policy, stall plan, and statistics.
+pub struct Runner<'a> {
+    sim: &'a Sim,
+    state: SimState,
+    time: u64,
+    policy: ArbitrationPolicy,
+    stall_plan: StallPlan,
+    skew: Option<SkewModel>,
+    stats: Stats,
+    /// First cycle each message requested its current target
+    /// (for OldestFirst).
+    waiting_since: Vec<Option<(ChannelId, u64)>>,
+    /// Per-channel last winner (for RoundRobin).
+    last_winner: BTreeMap<ChannelId, MessageId>,
+}
+
+impl<'a> Runner<'a> {
+    /// New runner with the given policy.
+    pub fn new(sim: &'a Sim, policy: ArbitrationPolicy) -> Self {
+        Runner {
+            state: sim.initial_state(),
+            time: 0,
+            policy,
+            stall_plan: StallPlan::new(),
+            skew: None,
+            stats: Stats::new(sim.message_count(), sim.channel_count()),
+            waiting_since: vec![None; sim.message_count()],
+            last_winner: BTreeMap::new(),
+            sim,
+        }
+    }
+
+    /// Attach a stall plan.
+    pub fn with_stalls(mut self, plan: StallPlan) -> Self {
+        self.stall_plan = plan;
+        self
+    }
+
+    /// Attach a clock-skew model: each cycle, queues hosted by paused
+    /// routers neither transmit nor accept flits.
+    pub fn with_skew(mut self, skew: SkewModel) -> Self {
+        self.skew = Some(skew);
+        self
+    }
+
+    /// Current cycle.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Current state (for inspection).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Run until delivery, deadlock, or `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> Outcome {
+        while self.time < max_cycles {
+            if self.sim.all_delivered(&self.state) {
+                return Outcome::Delivered { cycles: self.time };
+            }
+            self.step();
+            if let Some(members) = self.sim.find_deadlock(&self.state) {
+                return Outcome::Deadlock {
+                    members,
+                    at_cycle: self.time,
+                };
+            }
+        }
+        if self.sim.all_delivered(&self.state) {
+            Outcome::Delivered { cycles: self.time }
+        } else {
+            Outcome::Timeout { cycles: self.time }
+        }
+    }
+
+    /// Advance one cycle under the policy.
+    pub fn step(&mut self) {
+        let sim = self.sim;
+        // Messages released by their inject_at times.
+        let inject: Vec<MessageId> = sim
+            .pending(&self.state)
+            .into_iter()
+            .filter(|&m| sim.spec(m).inject_at <= self.time)
+            .collect();
+        let stalls: Vec<MessageId> = self
+            .stall_plan
+            .iter()
+            .filter(|(_, cycles)| cycles.contains(&self.time))
+            .map(|(&m, _)| m)
+            .collect();
+        let frozen = self
+            .skew
+            .as_ref()
+            .map(|s| s.frozen_at(self.time))
+            .unwrap_or_default();
+
+        // Track request ages for OldestFirst.
+        let requests = sim.header_requests_frozen(&self.state, &inject, &stalls, &frozen);
+        for (&chan, reqs) in &requests {
+            for &m in reqs {
+                match self.waiting_since[m.index()] {
+                    Some((c, _)) if c == chan => {}
+                    _ => self.waiting_since[m.index()] = Some((chan, self.time)),
+                }
+            }
+        }
+
+        let mut winners = BTreeMap::new();
+        for (&chan, reqs) in &requests {
+            if reqs.len() > 1 {
+                winners.insert(chan, self.pick_winner(chan, reqs));
+            }
+        }
+
+        let decisions = Decisions {
+            inject,
+            stalls,
+            winners,
+            frozen,
+        };
+        let before_started: Vec<bool> = sim.messages().map(|m| self.state.is_started(m)).collect();
+        let report = sim.step(&mut self.state, &decisions);
+        self.time += 1;
+
+        // Stats.
+        self.stats.cycles = self.time;
+        self.stats.flit_moves += report.flits_moved as u64;
+        for m in sim.messages() {
+            if !before_started[m.index()] && self.state.is_started(m) {
+                self.stats.injected_at[m.index()] = Some(self.time);
+            }
+        }
+        for m in &report.delivered {
+            self.stats.delivered_at[m.index()] = Some(self.time);
+        }
+        for (ci, occ) in self.state.channels.iter().enumerate() {
+            if occ.map(|o| !o.is_empty()).unwrap_or(false) {
+                self.stats.channel_busy[ci] += 1;
+            }
+        }
+        // Remember winners for round-robin rotation.
+        for (&chan, &w) in &decisions.winners {
+            self.last_winner.insert(chan, w);
+        }
+    }
+
+    fn pick_winner(&self, chan: ChannelId, reqs: &[MessageId]) -> MessageId {
+        match &self.policy {
+            ArbitrationPolicy::LowestId => reqs[0],
+            ArbitrationPolicy::RoundRobin => {
+                // Next requester after the previous winner, in id order.
+                match self.last_winner.get(&chan) {
+                    Some(&last) => reqs.iter().copied().find(|&m| m > last).unwrap_or(reqs[0]),
+                    None => reqs[0],
+                }
+            }
+            ArbitrationPolicy::OldestFirst => reqs
+                .iter()
+                .copied()
+                .min_by_key(|&m| {
+                    let since = match self.waiting_since[m.index()] {
+                        Some((c, t)) if c == chan => t,
+                        _ => self.time,
+                    };
+                    (since, m)
+                })
+                .expect("non-empty requests"),
+            ArbitrationPolicy::Adversarial { favored } => {
+                if let Some(&m) = favored.iter().find(|m| reqs.contains(m)) {
+                    return m;
+                }
+                // Most remaining hops wins.
+                reqs.iter()
+                    .copied()
+                    .max_by_key(|&m| {
+                        let remaining = match self.sim.head_index(&self.state, m) {
+                            Some(h) => self.sim.path(m).len() - h,
+                            None => self.sim.path(m).len() + 1,
+                        };
+                        (remaining, std::cmp::Reverse(m))
+                    })
+                    .expect("non-empty requests")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageSpec;
+    use wormnet::topology::{line, ring_unidirectional};
+    use wormnet::NodeId;
+    use wormroute::algorithms::{clockwise_ring, shortest_path_table};
+
+    #[test]
+    fn delivers_on_a_line() {
+        let (net, _) = line(4);
+        let table = shortest_path_table(&net).unwrap();
+        let sim = Sim::new(
+            &net,
+            &table,
+            vec![
+                MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), 4),
+                MessageSpec::new(NodeId::from_index(3), NodeId::from_index(0), 4).at(2),
+            ],
+            None,
+        )
+        .unwrap();
+        let mut runner = Runner::new(&sim, ArbitrationPolicy::LowestId);
+        let outcome = runner.run(100);
+        assert!(matches!(outcome, Outcome::Delivered { .. }));
+        let stats = runner.stats();
+        assert_eq!(stats.delivered_count(), 2);
+        assert!(stats.mean_latency().unwrap() > 0.0);
+        assert!(stats.throughput() > 0.0);
+        // Opposite directions: no contention, latencies equal.
+        assert_eq!(
+            stats.latency(MessageId::from_index(0)),
+            stats.latency(MessageId::from_index(1))
+        );
+    }
+
+    #[test]
+    fn ring_deadlocks_under_adversarial_policy() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..4)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 4))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let mut runner = Runner::new(&sim, ArbitrationPolicy::Adversarial { favored: vec![] });
+        let outcome = runner.run(1000);
+        assert!(outcome.is_deadlock(), "got {outcome:?}");
+    }
+
+    #[test]
+    fn stall_plan_freezes_messages() {
+        let (net, _) = line(3);
+        let table = shortest_path_table(&net).unwrap();
+        let sim = Sim::new(
+            &net,
+            &table,
+            vec![MessageSpec::new(
+                NodeId::from_index(0),
+                NodeId::from_index(2),
+                2,
+            )],
+            None,
+        )
+        .unwrap();
+        let baseline = {
+            let mut r = Runner::new(&sim, ArbitrationPolicy::LowestId);
+            match r.run(100) {
+                Outcome::Delivered { cycles } => cycles,
+                o => panic!("{o:?}"),
+            }
+        };
+        let mut plan = StallPlan::new();
+        plan.insert(MessageId::from_index(0), vec![1, 2, 3]);
+        let mut r = Runner::new(&sim, ArbitrationPolicy::LowestId).with_stalls(plan);
+        match r.run(100) {
+            Outcome::Delivered { cycles } => assert_eq!(cycles, baseline + 3),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn policies_pick_different_winners() {
+        // Two messages contending for one channel every build; check
+        // RoundRobin alternates across two sims... here simply verify
+        // the adversarial policy prefers the longer-path message.
+        let (net, _) = line(4);
+        let table = shortest_path_table(&net).unwrap();
+        // m0: short trip 0->1; m1: long trip 0->3. Both contend for
+        // channel 0->1 at cycle 0.
+        let sim = Sim::new(
+            &net,
+            &table,
+            vec![
+                MessageSpec::new(NodeId::from_index(0), NodeId::from_index(1), 1),
+                MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), 1),
+            ],
+            None,
+        )
+        .unwrap();
+        let mut r = Runner::new(&sim, ArbitrationPolicy::Adversarial { favored: vec![] });
+        r.step();
+        assert!(r.state().is_started(MessageId::from_index(1)));
+        assert!(!r.state().is_started(MessageId::from_index(0)));
+
+        let mut r = Runner::new(&sim, ArbitrationPolicy::LowestId);
+        r.step();
+        assert!(r.state().is_started(MessageId::from_index(0)));
+    }
+
+    #[test]
+    fn favored_list_overrides_heuristic() {
+        let (net, _) = line(4);
+        let table = shortest_path_table(&net).unwrap();
+        let sim = Sim::new(
+            &net,
+            &table,
+            vec![
+                MessageSpec::new(NodeId::from_index(0), NodeId::from_index(1), 1),
+                MessageSpec::new(NodeId::from_index(0), NodeId::from_index(3), 1),
+            ],
+            None,
+        )
+        .unwrap();
+        let mut r = Runner::new(
+            &sim,
+            ArbitrationPolicy::Adversarial {
+                favored: vec![MessageId::from_index(0)],
+            },
+        );
+        r.step();
+        assert!(r.state().is_started(MessageId::from_index(0)));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        // Three 1-flit messages from the same source contending
+        // repeatedly: round robin should let each through in turn
+        // without starvation.
+        let (net, _) = line(2);
+        let table = shortest_path_table(&net).unwrap();
+        let sim = Sim::new(
+            &net,
+            &table,
+            (0..3)
+                .map(|_| MessageSpec::new(NodeId::from_index(0), NodeId::from_index(1), 1))
+                .collect(),
+            None,
+        )
+        .unwrap();
+        let mut r = Runner::new(&sim, ArbitrationPolicy::RoundRobin);
+        let outcome = r.run(50);
+        assert!(matches!(outcome, Outcome::Delivered { .. }));
+    }
+
+    #[test]
+    fn oldest_first_is_starvation_free_under_streams() {
+        // A relentless stream of short messages crosses a victim's
+        // path; OldestFirst (assumption 5) must still deliver the
+        // victim with bounded latency, unlike LowestId which can
+        // starve it behind lower-id traffic.
+        let (net, _) = line(3);
+        let table = shortest_path_table(&net).unwrap();
+        // Victim (highest id) plus 12 stream messages sharing its
+        // first channel.
+        let mut specs: Vec<MessageSpec> = (0..12)
+            .map(|i| MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 3).at(i))
+            .collect();
+        specs.push(MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 3).at(0));
+        let victim = MessageId::from_index(12);
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let mut r = Runner::new(&sim, ArbitrationPolicy::OldestFirst);
+        assert!(matches!(r.run(10_000), Outcome::Delivered { .. }));
+        let victim_latency = r.stats().latency(victim).unwrap();
+        // Under oldest-first the victim is served in FIFO-ish order:
+        // it requested at cycle 0, so it should be among the first
+        // few, not dead last.
+        let worst = (0..12)
+            .filter_map(|i| r.stats().latency(MessageId::from_index(i)))
+            .max()
+            .unwrap();
+        assert!(
+            victim_latency <= worst,
+            "victim {victim_latency} vs worst stream {worst}"
+        );
+    }
+
+    #[test]
+    fn timeout_outcome_when_budget_too_small() {
+        let (net, _) = line(4);
+        let table = shortest_path_table(&net).unwrap();
+        let sim = Sim::new(
+            &net,
+            &table,
+            vec![MessageSpec::new(
+                NodeId::from_index(0),
+                NodeId::from_index(3),
+                10,
+            )],
+            None,
+        )
+        .unwrap();
+        let mut r = Runner::new(&sim, ArbitrationPolicy::LowestId);
+        let outcome = r.run(3);
+        assert_eq!(outcome, Outcome::Timeout { cycles: 3 });
+        assert_eq!(r.time(), 3);
+        assert!(!outcome.is_deadlock());
+    }
+
+    #[test]
+    fn stats_survive_deadlock() {
+        use wormnet::topology::ring_unidirectional;
+        use wormroute::algorithms::clockwise_ring;
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..4)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 4))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let mut r = Runner::new(&sim, ArbitrationPolicy::Adversarial { favored: vec![] });
+        assert!(r.run(1_000).is_deadlock());
+        // All injected, none delivered; utilization nonzero.
+        let stats = r.stats();
+        assert_eq!(stats.delivered_count(), 0);
+        assert!(stats.injected_at.iter().all(Option::is_some));
+        assert!(stats.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn oldest_first_delivers_everything() {
+        let (net, _) = line(3);
+        let table = shortest_path_table(&net).unwrap();
+        let sim = Sim::new(
+            &net,
+            &table,
+            (0..4)
+                .map(|i| {
+                    MessageSpec::new(NodeId::from_index(0), NodeId::from_index(2), 2).at(i as u64)
+                })
+                .collect(),
+            None,
+        )
+        .unwrap();
+        let mut r = Runner::new(&sim, ArbitrationPolicy::OldestFirst);
+        assert!(matches!(r.run(200), Outcome::Delivered { .. }));
+        assert_eq!(r.stats().delivered_count(), 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Workload generators for throughput/latency experiments.
+//!
+//! The paper itself evaluates tiny hand-built scenarios, but the
+//! benchmark suite also exercises the simulator at scale on standard
+//! synthetic traffic: uniform random Bernoulli injection and
+//! permutation patterns on meshes.
+
+use rand::RngExt;
+use wormnet::topology::Mesh;
+use wormnet::{Network, NodeId};
+use wormroute::TableRouting;
+
+use crate::message::MessageSpec;
+
+/// Uniform random traffic: every node injects a message with
+/// probability `rate` each cycle over `horizon` cycles, to a uniformly
+/// random routed destination. Message lengths are uniform in
+/// `length_range` (inclusive).
+pub fn uniform_random(
+    net: &Network,
+    table: &TableRouting,
+    rng: &mut impl rand::Rng,
+    rate: f64,
+    horizon: u64,
+    length_range: (usize, usize),
+) -> Vec<MessageSpec> {
+    assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    assert!(length_range.0 >= 1 && length_range.0 <= length_range.1);
+    let nodes: Vec<NodeId> = net.nodes().collect();
+    let mut specs = Vec::new();
+    for cycle in 0..horizon {
+        for &src in &nodes {
+            if rng.random_range(0.0..1.0) >= rate {
+                continue;
+            }
+            // Pick a routed destination uniformly.
+            let candidates: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|&d| d != src && table.path(src, d).is_some())
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let dst = candidates[rng.random_range(0..candidates.len())];
+            let length = rng.random_range(length_range.0..=length_range.1);
+            specs.push(MessageSpec {
+                src,
+                dst,
+                length,
+                inject_at: cycle,
+            });
+        }
+    }
+    specs
+}
+
+/// Transpose permutation on a 2-D mesh: node `(x, y)` sends one
+/// message to `(y, x)`. A classic adversarial-locality pattern for XY
+/// routing.
+pub fn transpose(mesh: &Mesh, length: usize) -> Vec<MessageSpec> {
+    assert_eq!(mesh.dims().len(), 2, "transpose needs a 2-D mesh");
+    assert_eq!(
+        mesh.dims()[0],
+        mesh.dims()[1],
+        "transpose needs a square mesh"
+    );
+    let mut specs = Vec::new();
+    for node in mesh.network().nodes() {
+        let c = mesh.coords(node);
+        if c[0] != c[1] {
+            specs.push(MessageSpec::new(node, mesh.node(&[c[1], c[0]]), length));
+        }
+    }
+    specs
+}
+
+/// Bit-complement permutation on a 2-D mesh: `(x, y)` sends to
+/// `(W-1-x, H-1-y)`. Every message crosses the bisection.
+pub fn bit_complement(mesh: &Mesh, length: usize) -> Vec<MessageSpec> {
+    assert_eq!(mesh.dims().len(), 2, "bit-complement needs a 2-D mesh");
+    let (w, h) = (mesh.dims()[0], mesh.dims()[1]);
+    let mut specs = Vec::new();
+    for node in mesh.network().nodes() {
+        let c = mesh.coords(node);
+        let target = [w - 1 - c[0], h - 1 - c[1]];
+        if target != [c[0], c[1]] {
+            specs.push(MessageSpec::new(node, mesh.node(&target), length));
+        }
+    }
+    specs
+}
+
+/// Hotspot traffic: every node sends one message to a single hot node.
+pub fn hotspot(net: &Network, hot: NodeId, length: usize) -> Vec<MessageSpec> {
+    net.nodes()
+        .filter(|&n| n != hot)
+        .map(|n| MessageSpec::new(n, hot, length))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wormroute::algorithms::xy_mesh;
+
+    #[test]
+    fn uniform_random_respects_rate_zero_and_one() {
+        let mesh = Mesh::new(&[3, 3]);
+        let table = xy_mesh(&mesh).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let none = uniform_random(mesh.network(), &table, &mut rng, 0.0, 10, (1, 1));
+        assert!(none.is_empty());
+        let all = uniform_random(mesh.network(), &table, &mut rng, 1.0, 5, (2, 4));
+        assert_eq!(all.len(), 9 * 5);
+        assert!(all.iter().all(|s| (2..=4).contains(&s.length)));
+        assert!(all.iter().all(|s| s.src != s.dst));
+    }
+
+    #[test]
+    fn transpose_pairs() {
+        let mesh = Mesh::new(&[3, 3]);
+        let specs = transpose(&mesh, 4);
+        // 9 nodes, 3 on the diagonal -> 6 messages.
+        assert_eq!(specs.len(), 6);
+        for s in &specs {
+            let a = mesh.coords(s.src);
+            let b = mesh.coords(s.dst);
+            assert_eq!(a[0], b[1]);
+            assert_eq!(a[1], b[0]);
+        }
+    }
+
+    #[test]
+    fn bit_complement_crosses_center() {
+        let mesh = Mesh::new(&[4, 4]);
+        let specs = bit_complement(&mesh, 2);
+        assert_eq!(specs.len(), 16);
+        for s in &specs {
+            let a = mesh.coords(s.src);
+            let b = mesh.coords(s.dst);
+            assert_eq!(b[0], 3 - a[0]);
+            assert_eq!(b[1], 3 - a[1]);
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_hot_node() {
+        let mesh = Mesh::new(&[2, 2]);
+        let hot = mesh.node(&[0, 0]);
+        let specs = hotspot(mesh.network(), hot, 3);
+        assert_eq!(specs.len(), 3);
+        assert!(specs.iter().all(|s| s.dst == hot));
+    }
+}

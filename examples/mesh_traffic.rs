@@ -1,0 +1,62 @@
+//! Latency-vs-load study on a mesh: drive XY routing with uniform
+//! random traffic at increasing injection rates and watch latency
+//! climb toward saturation — the workload class the paper's
+//! introduction motivates (contention, not distance, dominates
+//! wormhole latency).
+//!
+//! Run with: `cargo run --release --example mesh_traffic`
+
+use cyclic_wormhole::net::topology::Mesh;
+use cyclic_wormhole::route::algorithms::xy_mesh;
+use cyclic_wormhole::sim::runner::{ArbitrationPolicy, Runner};
+use cyclic_wormhole::sim::{traffic, Sim};
+use rand::SeedableRng;
+
+fn main() {
+    let mesh = Mesh::new(&[6, 6]);
+    let table = xy_mesh(&mesh).expect("XY routes every pair");
+    let horizon = 300;
+
+    println!("6x6 mesh, XY routing, uniform random traffic, 4-flit messages\n");
+    println!(
+        "{:>6}  {:>9}  {:>12}  {:>12}  {:>12}",
+        "rate", "messages", "mean lat", "max lat", "utilization"
+    );
+    for rate_pct in [1, 2, 4, 8, 12, 16, 20] {
+        let rate = rate_pct as f64 / 100.0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let specs =
+            traffic::uniform_random(mesh.network(), &table, &mut rng, rate, horizon, (4, 4));
+        let n = specs.len();
+        let sim = Sim::new(mesh.network(), &table, specs, None).expect("routed");
+        let mut runner = Runner::new(&sim, ArbitrationPolicy::OldestFirst);
+        let outcome = runner.run(1_000_000);
+        let stats = runner.stats();
+        assert!(
+            !matches!(
+                outcome,
+                cyclic_wormhole::sim::runner::Outcome::Deadlock { .. }
+            ),
+            "XY routing cannot deadlock"
+        );
+        println!(
+            "{:>5}%  {:>9}  {:>12.1}  {:>12}  {:>11.1}%",
+            rate_pct,
+            n,
+            stats.mean_latency().unwrap_or(0.0),
+            stats.max_latency().unwrap_or(0),
+            stats.mean_utilization() * 100.0
+        );
+    }
+    println!("\nTranspose permutation (adversarial for XY):");
+    let specs = traffic::transpose(&mesh, 6);
+    let sim = Sim::new(mesh.network(), &table, specs, None).expect("routed");
+    let mut runner = Runner::new(&sim, ArbitrationPolicy::OldestFirst);
+    let outcome = runner.run(100_000);
+    let stats = runner.stats();
+    println!(
+        "outcome {outcome:?}; mean latency {:.1}, max {}",
+        stats.mean_latency().unwrap_or(0.0),
+        stats.max_latency().unwrap_or(0)
+    );
+}

@@ -1,0 +1,50 @@
+//! # cyclic-wormhole
+//!
+//! A reproduction of Loren Schwiebert, *Deadlock-Free Oblivious
+//! Wormhole Routing with Cyclic Dependencies* (SPAA 1997), as a
+//! workspace of composable crates:
+//!
+//! | Layer | Crate | Contents |
+//! |---|---|---|
+//! | network | [`net`] (`wormnet`) | strongly connected directed multigraphs of nodes and (virtual) channels; topology builders; SCC / elementary-cycle / shortest-path algorithms |
+//! | routing | [`route`] (`wormroute`) | oblivious routing functions `R : C × N → C`, path tables, minimal/prefix-closed/suffix-closed/coherent checkers, baseline algorithms |
+//! | analysis | [`cdg`] (`wormcdg`) | channel dependency graphs, the Dally–Seitz certificate, cycle enumeration with witnesses, static deadlock candidates, shared-channel analysis |
+//! | dynamics | [`sim`] (`wormsim`) | flit-level wormhole simulator (atomic buffer allocation, arbitration policies, adversarial stalls, wait-for-graph deadlock detection) |
+//! | verification | [`search`] (`wormsearch`) | exhaustive reachability search over injection orders, arbitration outcomes and stall budgets; adaptive route-choice explorer |
+//! | paper | [`core`] (`worm-core`) | the Cyclic Dependency algorithm (Figure 1), Figures 2–3, the Section 6 family `G(k)`, Theorem 5's conditions, the classification pipeline, the `validate` claims runner |
+//!
+//! Extensions beyond the paper's base model, each validated in
+//! `EXPERIMENTS.md`: per-router clock skew (`sim::skew`), adaptive
+//! routing with escape channels (`route::adaptive`, `sim::adaptive`,
+//! `search::adaptive`), multi-channel sharing (the Section 7 open
+//! problem), and Monte Carlo deadlock-probability studies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cyclic_wormhole::core::paper::fig1;
+//! use cyclic_wormhole::search::{explore, SearchConfig};
+//! use cyclic_wormhole::sim::Sim;
+//!
+//! // The paper's headline object: an oblivious routing algorithm that
+//! // is deadlock-free even though its channel dependency graph has a
+//! // cycle.
+//! let c = fig1::cyclic_dependency();
+//! assert!(!c.cdg().is_acyclic(), "the CDG has a cycle...");
+//!
+//! let sim = Sim::new(&c.net, &c.table, c.message_specs(), Some(1)).unwrap();
+//! let result = explore(&sim, &SearchConfig::default());
+//! assert!(result.verdict.is_free(), "...yet no schedule deadlocks");
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for
+//! the experiment programs that regenerate every figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use worm_core as core;
+pub use wormcdg as cdg;
+pub use wormnet as net;
+pub use wormroute as route;
+pub use wormsearch as search;
+pub use wormsim as sim;
