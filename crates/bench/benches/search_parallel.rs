@@ -1,0 +1,103 @@
+//! BENCH-5: parallel work-stealing search vs the sequential oracle.
+//!
+//! Measures [`wormsearch::explore_parallel`] against the sequential
+//! depth-first [`wormsearch::explore`] on state spaces big enough to
+//! feed several workers:
+//!
+//! * a Theorem 5 instance — Figure 3 scenario (a) with an adversarial
+//!   stall budget, whose reachable space grows into the hundreds of
+//!   thousands of states;
+//! * the Section 6 generalized construction `G(3)` swept at its
+//!   deadlock-free stall budget.
+//!
+//! One [`wormsearch::SearchMetrics`] summary per instance is printed
+//! before measuring (states/s, layers, frontier peak, dedup hit-rate,
+//! steal counts), so the run doubles as the speedup report:
+//! at 4 threads the parallel engine is expected to be >= 2x faster
+//! than the sequential baseline on these instances.
+//!
+//! Run with: `cargo bench -p wormbench --bench search_parallel`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use worm_core::paper::{fig3, generalized};
+use wormsearch::{explore, explore_parallel, SearchConfig};
+use wormsim::Sim;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bench_instance(c: &mut Criterion, group_name: &str, sim: &Sim, config: &SearchConfig) {
+    // One metrics line per engine before measurement starts.
+    let seq = explore(sim, config);
+    let label = if seq.verdict.is_free() {
+        "free"
+    } else if seq.verdict.is_deadlock() {
+        "deadlock"
+    } else {
+        "inconclusive"
+    };
+    println!(
+        "{group_name}: sequential ({label}, {} states) — {}",
+        seq.states_explored,
+        seq.metrics.summary()
+    );
+    for threads in THREAD_COUNTS {
+        let par = explore_parallel(sim, config, threads);
+        assert_eq!(
+            seq.verdict.is_free(),
+            par.verdict.is_free(),
+            "engines disagree on {group_name}"
+        );
+        println!(
+            "{group_name}: {threads} threads — {}",
+            par.metrics.summary()
+        );
+    }
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| explore(black_box(sim), config));
+    });
+    for threads in THREAD_COUNTS {
+        group.bench_function(BenchmarkId::from_parameter(format!("par{threads}")), |b| {
+            b.iter(|| explore_parallel(black_box(sim), config, threads));
+        });
+    }
+    group.finish();
+}
+
+/// Theorem 5 instance: Figure 3 scenario (c) — condition 2 fails, so
+/// the deadlock is reachable — with a stall budget that inflates the
+/// reachable space to the largest of the six scenarios.
+fn bench_theorem5_instance(c: &mut Criterion) {
+    let s = fig3::scenario_c();
+    let con = s.spec.build();
+    let sim = Sim::new(&con.net, &con.table, s.message_specs(&con), Some(1)).expect("routed");
+    let config = SearchConfig {
+        stall_budget: 3,
+        max_states: 8_000_000,
+    };
+    bench_instance(c, "search_parallel_theorem5", &sim, &config);
+}
+
+/// Section 6 instance: `G(3)` at stall budget 3 (one below its
+/// deadlock threshold): an exhaustive deadlock-freedom sweep.
+fn bench_generalized_instance(c: &mut Criterion) {
+    let con = generalized::generalized(3);
+    let sim = Sim::new(
+        &con.net,
+        &con.table,
+        generalized::minimum_length_specs(&con),
+        Some(1),
+    )
+    .expect("routed");
+    let config = SearchConfig {
+        stall_budget: 3,
+        max_states: 8_000_000,
+    };
+    bench_instance(c, "search_parallel_g3", &sim, &config);
+}
+
+criterion_group!(benches, bench_theorem5_instance, bench_generalized_instance);
+criterion_main!(benches);

@@ -73,7 +73,7 @@ fn analyze(name: &str, mesh: &Mesh, routing: AdaptiveRouting) {
             format!("DEADLOCK (knot of {})", members.len())
         }
         AdaptiveVerdict::DeadlockFree => "free".to_string(),
-        AdaptiveVerdict::Inconclusive => "inconclusive".to_string(),
+        AdaptiveVerdict::Inconclusive { .. } => "inconclusive".to_string(),
     };
 
     row(&[

@@ -129,6 +129,6 @@ fn verdict_str(v: &wormsearch::Verdict) -> &'static str {
     match v {
         wormsearch::Verdict::DeadlockReachable(_) => "DEADLOCK",
         wormsearch::Verdict::DeadlockFree => "free",
-        wormsearch::Verdict::Inconclusive => "inconclusive",
+        wormsearch::Verdict::Inconclusive { .. } => "inconclusive",
     }
 }

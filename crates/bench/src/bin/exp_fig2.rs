@@ -65,7 +65,7 @@ fn main() {
                     match r.verdict {
                         Verdict::DeadlockReachable(_) => "DEADLOCK",
                         Verdict::DeadlockFree => "free(!)",
-                        Verdict::Inconclusive => "???",
+                        Verdict::Inconclusive { .. } => "???",
                     },
                     12,
                 ),

@@ -6,15 +6,27 @@
 //! verdict, and the paper's verdict.
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_fig3`
+//! (add `--threads N` to pin the search worker count; default: all cores)
 
 use worm_core::conditions::eight_conditions;
 use worm_core::paper::fig3;
 use wormbench::report::{cell, header, row};
 use wormcdg::sharing;
-use wormsearch::{explore, SearchConfig};
+use wormsearch::{explore_parallel, SearchConfig};
 use wormsim::Sim;
 
+/// `--threads N` (0 = all cores, the default).
+fn thread_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn main() {
+    let threads = thread_arg();
     println!("EXP-F3: Figure 3 / Theorem 5 — three messages sharing a channel\n");
     header(&[
         ("scenario", 8),
@@ -26,6 +38,7 @@ fn main() {
         ("match", 6),
     ]);
     let mut all_match = true;
+    let mut search_lines: Vec<String> = Vec::new();
     for s in fig3::all_scenarios() {
         let c = s.spec.build();
         let cycle = c.cycle();
@@ -39,7 +52,9 @@ fn main() {
             eight_conditions(&c.net, &c.table, &cycle, &candidate, shared).expect("three sharers");
 
         let sim = Sim::new(&c.net, &c.table, s.message_specs(&c), Some(1)).expect("routed");
-        let free = explore(&sim, &SearchConfig::default()).verdict.is_free();
+        let search = explore_parallel(&sim, &SearchConfig::default(), threads);
+        search_lines.push(format!("({}) {}", s.name, search.metrics.summary()));
+        let free = search.verdict.is_free();
 
         let conds: String = ec
             .conditions
@@ -72,6 +87,11 @@ fn main() {
             cell(verdict(s.paper_unreachable), 12),
             cell(if matches { "yes" } else { "NO" }, 6),
         ]);
+    }
+    println!();
+    println!("search metrics (parallel engine):");
+    for line in &search_lines {
+        println!("  {line}");
     }
     println!();
     // Per-message geometry detail.

@@ -7,13 +7,25 @@
 //! occur".
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_generalized`
+//! (add `--threads N` to pin the search worker count; default: all cores)
 
 use worm_core::paper::generalized;
 use wormbench::report::{cell, header, row};
 use wormsearch::{explore, min_stall_budget_parallel, SearchConfig};
 use wormsim::Sim;
 
+/// `--threads N` (0 = all cores, the default).
+fn thread_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn main() {
+    let threads = thread_arg();
     println!("EXP-G1: Section 6 — G(k) requires >= k extra delay for deadlock\n");
     header(&[
         ("k", 4),
@@ -33,7 +45,9 @@ fn main() {
         )
         .expect("routed");
         let base = explore(&sim, &SearchConfig::default());
-        let (min, trail) = min_stall_budget_parallel(&sim, (k + 4) as u32, 8_000_000);
+        let (min, trail) = min_stall_budget_parallel(&sim, (k + 4) as u32, 8_000_000, threads);
+        let last = trail.last().expect("at least one budget scanned");
+        println!("  k={k} search: {}", last.metrics.summary());
         row(&[
             cell(k, 4),
             cell(c.ring.len(), 6),

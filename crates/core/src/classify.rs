@@ -13,7 +13,7 @@ use wormcdg::sharing::{self, SharingAnalysis};
 use wormcdg::{enumerate_candidates, Cdg, CdgCycle, DeadlockCandidate};
 use wormnet::Network;
 use wormroute::{properties, TableRouting};
-use wormsearch::{explore, explore_until, SearchConfig, Verdict};
+use wormsearch::{explore, explore_parallel, explore_until, SearchConfig, Verdict};
 use wormsim::{MessageId, MessageSpec, Sim};
 
 use crate::conditions::{eight_conditions, EightConditions};
@@ -140,6 +140,11 @@ pub struct ClassifyOptions {
     pub use_search: bool,
     /// State budget per search.
     pub search_max_states: usize,
+    /// Worker threads for each fallback search: `1` (the default) runs
+    /// the sequential depth-first engine; any other value runs the
+    /// parallel work-stealing engine with that many workers (`0` = all
+    /// cores). Verdicts are identical either way.
+    pub search_threads: usize,
     /// Re-verify theorem-decided "reachable" candidates by exhaustive
     /// search before reporting them.
     ///
@@ -160,6 +165,7 @@ impl Default for ClassifyOptions {
             max_candidates: 10_000,
             use_search: true,
             search_max_states: 2_000_000,
+            search_threads: 1,
             verify_theorems_with_search: false,
         }
     }
@@ -288,17 +294,19 @@ fn search_candidate(
         .map(|s| MessageSpec::new(s.msg.0, s.msg.1, s.channels.len()))
         .collect();
     let sim = Sim::new(net, table, specs, Some(1)).ok()?;
-    let result = explore(
-        &sim,
-        &SearchConfig {
-            stall_budget: 0,
-            max_states: opts.search_max_states,
-        },
-    );
+    let config = SearchConfig {
+        stall_budget: 0,
+        max_states: opts.search_max_states,
+    };
+    let result = if opts.search_threads == 1 {
+        explore(&sim, &config)
+    } else {
+        explore_parallel(&sim, &config, opts.search_threads)
+    };
     match result.verdict {
         Verdict::DeadlockReachable(_) => Some(true),
         Verdict::DeadlockFree => Some(false),
-        Verdict::Inconclusive => None,
+        Verdict::Inconclusive { .. } => None,
     }
 }
 
@@ -346,7 +354,7 @@ pub fn candidate_reachable(
     match result.verdict {
         Verdict::DeadlockReachable(_) => Some(true),
         Verdict::DeadlockFree => Some(false),
-        Verdict::Inconclusive => None,
+        Verdict::Inconclusive { .. } => None,
     }
 }
 
@@ -571,6 +579,35 @@ mod tests {
         };
         assert_eq!(cycles.len(), 2);
         assert!(cycles.iter().all(|cv| cv.reachable() == Some(true)));
+    }
+
+    #[test]
+    fn parallel_search_threads_give_identical_verdicts() {
+        // The fig-1-like 4-sharer construction is decided by the search
+        // fallback; the parallel engine must reach the same verdict.
+        let c = crate::family::SharedCycleSpec {
+            messages: vec![
+                crate::family::CycleMessageSpec::shared(2, 3, 1),
+                crate::family::CycleMessageSpec::shared(3, 4, 1),
+                crate::family::CycleMessageSpec::shared(2, 3, 1),
+                crate::family::CycleMessageSpec::shared(3, 4, 1),
+            ],
+        }
+        .build();
+        let sequential = classify_algorithm(&c.net, &c.table, &ClassifyOptions::default());
+        let parallel = classify_algorithm(
+            &c.net,
+            &c.table,
+            &ClassifyOptions {
+                search_threads: 4,
+                ..ClassifyOptions::default()
+            },
+        );
+        assert_eq!(
+            sequential.is_deadlock_free(),
+            parallel.is_deadlock_free(),
+            "sequential {sequential:?} vs parallel {parallel:?}"
+        );
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The state-space exploration itself.
 
 use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
 
 use wormnet::ChannelId;
-use wormsim::{Decisions, MessageId, Sim, SimState};
+use wormsim::{Decisions, MessageId, PackedState, Sim, SimState, StateCodec};
 
-use crate::verdict::{SearchResult, Verdict, Witness};
+use crate::parallel::explore_parallel;
+use crate::verdict::{SearchMetrics, SearchResult, Verdict, Witness};
 
 /// Search parameters.
 #[derive(Clone, Debug)]
@@ -23,7 +25,7 @@ impl Default for SearchConfig {
     fn default() -> Self {
         SearchConfig {
             stall_budget: 0,
-            max_states: 2_000_000,
+            max_states: 8_000_000,
         }
     }
 }
@@ -45,17 +47,16 @@ impl SearchConfig {
 /// if any interleaving deadlocks, or an exact deadlock-freedom verdict
 /// for this message set.
 pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
-    // Channels that can ever be occupied: the union of message paths.
-    let mut relevant: Vec<usize> = sim
-        .messages()
-        .flat_map(|m| sim.path(m).iter().map(|c| c.index()))
-        .collect();
-    relevant.sort_unstable();
-    relevant.dedup();
+    let start = Instant::now();
+    let codec = StateCodec::new(sim, config.stall_budget);
+    let mut metrics = SearchMetrics {
+        threads: 1,
+        ..SearchMetrics::default()
+    };
 
     let initial = sim.initial_state();
-    let mut visited: HashSet<Vec<u8>> = HashSet::new();
-    visited.insert(encode(sim, &initial, config.stall_budget, &relevant));
+    let mut visited: HashSet<PackedState> = HashSet::new();
+    visited.insert(codec.pack(&initial, config.stall_budget));
 
     struct Frame {
         state: SimState,
@@ -71,6 +72,12 @@ pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
         next: 0,
     }];
     let mut path: Vec<Decisions> = Vec::new();
+
+    let finish = |metrics: &mut SearchMetrics, verdict: Verdict, states: usize| {
+        metrics.elapsed = start.elapsed();
+        metrics.finish(states);
+        SearchResult::new(verdict, states).with_metrics(metrics.clone())
+    };
 
     while let Some(frame) = stack.last_mut() {
         if frame.next >= frame.options.len() {
@@ -89,25 +96,32 @@ pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
             continue;
         }
         let budget = frame.budget - decision.stalls.len() as u32;
-        let key = encode(sim, &state, budget, &relevant);
-        if !visited.insert(key) {
+        metrics.dedup_lookups += 1;
+        if !visited.insert(codec.pack(&state, budget)) {
+            metrics.dedup_hits += 1;
             continue;
         }
         if visited.len() > config.max_states {
-            return SearchResult {
-                verdict: Verdict::Inconclusive,
-                states_explored: visited.len(),
-            };
+            let states = visited.len();
+            return finish(
+                &mut metrics,
+                Verdict::Inconclusive {
+                    states_visited: states,
+                },
+                states,
+            );
         }
         path.push(decision);
         if let Some(members) = sim.find_deadlock(&state) {
-            return SearchResult {
-                verdict: Verdict::DeadlockReachable(Witness {
+            let states = visited.len();
+            return finish(
+                &mut metrics,
+                Verdict::DeadlockReachable(Witness {
                     decisions: path,
                     members,
                 }),
-                states_explored: visited.len(),
-            };
+                states,
+            );
         }
         if sim.all_delivered(&state) {
             // Terminal success state: no deadlock beyond here.
@@ -121,12 +135,11 @@ pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
             options,
             next: 0,
         });
+        metrics.frontier_peak = metrics.frontier_peak.max(stack.len());
     }
 
-    SearchResult {
-        verdict: Verdict::DeadlockFree,
-        states_explored: visited.len(),
-    }
+    let states = visited.len();
+    finish(&mut metrics, Verdict::DeadlockFree, states)
 }
 
 /// Exhaustively search for a state satisfying `target` instead of a
@@ -141,25 +154,20 @@ pub fn explore_until(
     config: &SearchConfig,
     mut target: impl FnMut(&Sim, &SimState) -> bool,
 ) -> SearchResult {
-    let mut relevant: Vec<usize> = sim
-        .messages()
-        .flat_map(|m| sim.path(m).iter().map(|c| c.index()))
-        .collect();
-    relevant.sort_unstable();
-    relevant.dedup();
+    let codec = StateCodec::new(sim, config.stall_budget);
 
     let initial = sim.initial_state();
     if target(sim, &initial) {
-        return SearchResult {
-            verdict: Verdict::DeadlockReachable(Witness {
+        return SearchResult::new(
+            Verdict::DeadlockReachable(Witness {
                 decisions: Vec::new(),
                 members: Vec::new(),
             }),
-            states_explored: 1,
-        };
+            1,
+        );
     }
-    let mut visited: HashSet<Vec<u8>> = HashSet::new();
-    visited.insert(encode(sim, &initial, config.stall_budget, &relevant));
+    let mut visited: HashSet<PackedState> = HashSet::new();
+    visited.insert(codec.pack(&initial, config.stall_budget));
 
     struct Frame {
         state: SimState,
@@ -189,24 +197,27 @@ pub fn explore_until(
             continue;
         }
         let budget = frame.budget - decision.stalls.len() as u32;
-        if !visited.insert(encode(sim, &state, budget, &relevant)) {
+        if !visited.insert(codec.pack(&state, budget)) {
             continue;
         }
         if visited.len() > config.max_states {
-            return SearchResult {
-                verdict: Verdict::Inconclusive,
-                states_explored: visited.len(),
-            };
+            let states = visited.len();
+            return SearchResult::new(
+                Verdict::Inconclusive {
+                    states_visited: states,
+                },
+                states,
+            );
         }
         path.push(decision);
         if target(sim, &state) {
-            return SearchResult {
-                verdict: Verdict::DeadlockReachable(Witness {
+            return SearchResult::new(
+                Verdict::DeadlockReachable(Witness {
                     decisions: path,
                     members: sim.find_deadlock(&state).unwrap_or_default(),
                 }),
-                states_explored: visited.len(),
-            };
+                visited.len(),
+            );
         }
         if sim.all_delivered(&state) {
             path.pop();
@@ -220,10 +231,7 @@ pub fn explore_until(
             next: 0,
         });
     }
-    SearchResult {
-        verdict: Verdict::DeadlockFree,
-        states_explored: visited.len(),
-    }
+    SearchResult::new(Verdict::DeadlockFree, visited.len())
 }
 
 /// Like [`explore`], but breadth-first, so a returned witness is a
@@ -232,16 +240,11 @@ pub fn explore_until(
 /// witness will be shown to a human.
 pub fn explore_shortest(sim: &Sim, config: &SearchConfig) -> SearchResult {
     use std::collections::VecDeque;
-    let mut relevant: Vec<usize> = sim
-        .messages()
-        .flat_map(|m| sim.path(m).iter().map(|c| c.index()))
-        .collect();
-    relevant.sort_unstable();
-    relevant.dedup();
+    let codec = StateCodec::new(sim, config.stall_budget);
 
     let initial = sim.initial_state();
-    let mut visited: HashSet<Vec<u8>> = HashSet::new();
-    visited.insert(encode(sim, &initial, config.stall_budget, &relevant));
+    let mut visited: HashSet<PackedState> = HashSet::new();
+    visited.insert(codec.pack(&initial, config.stall_budget));
 
     // Each queue entry keeps the decision history from the root; state
     // spaces here are small enough that sharing via Vec clones is
@@ -257,35 +260,35 @@ pub fn explore_shortest(sim: &Sim, config: &SearchConfig) -> SearchResult {
                 continue;
             }
             let next_budget = budget - decision.stalls.len() as u32;
-            if !visited.insert(encode(sim, &next, next_budget, &relevant)) {
+            if !visited.insert(codec.pack(&next, next_budget)) {
                 continue;
             }
             if visited.len() > config.max_states {
-                return SearchResult {
-                    verdict: Verdict::Inconclusive,
-                    states_explored: visited.len(),
-                };
+                let states = visited.len();
+                return SearchResult::new(
+                    Verdict::Inconclusive {
+                        states_visited: states,
+                    },
+                    states,
+                );
             }
             let mut next_history = history.clone();
             next_history.push(decision);
             if let Some(members) = sim.find_deadlock(&next) {
-                return SearchResult {
-                    verdict: Verdict::DeadlockReachable(Witness {
+                return SearchResult::new(
+                    Verdict::DeadlockReachable(Witness {
                         decisions: next_history,
                         members,
                     }),
-                    states_explored: visited.len(),
-                };
+                    visited.len(),
+                );
             }
             if !sim.all_delivered(&next) {
                 queue.push_back((next, next_budget, next_history));
             }
         }
     }
-    SearchResult {
-        verdict: Verdict::DeadlockFree,
-        states_explored: visited.len(),
-    }
+    SearchResult::new(Verdict::DeadlockFree, visited.len())
 }
 
 /// Smallest stall budget (up to `max_budget`) with which the adversary
@@ -314,45 +317,38 @@ pub fn min_stall_budget(
     (None, trail)
 }
 
-/// [`min_stall_budget`] with the per-budget searches running on
-/// parallel threads (crossbeam scoped spawn). Budgets are independent
-/// explorations, so this is an embarrassingly parallel scan; results
-/// are identical to the sequential version (each exploration is
-/// deterministic), only wall-clock differs.
+/// [`min_stall_budget`] with each per-budget search running on the
+/// parallel work-stealing engine ([`explore_parallel`], `threads`
+/// workers; 0 = all cores). Budgets are scanned in order and the scan
+/// stops at the first deadlock, so the trail matches the sequential
+/// version verdict-for-verdict. Deadlock-free budgets also visit the
+/// identical number of states (both engines exhaust the same
+/// deduplicated reachable set); on the deadlock budget the
+/// breadth-first engine may stop at a different state count than the
+/// depth-first one.
 pub fn min_stall_budget_parallel(
     sim: &Sim,
     max_budget: u32,
     max_states: usize,
+    threads: usize,
 ) -> (Option<u32>, Vec<SearchResult>) {
-    let results: Vec<SearchResult> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..=max_budget)
-            .map(|budget| {
-                scope.spawn(move |_| {
-                    explore(
-                        sim,
-                        &SearchConfig {
-                            stall_budget: budget,
-                            max_states,
-                        },
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("search thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-
-    let min = results
-        .iter()
-        .position(|r| r.verdict.is_deadlock())
-        .map(|i| i as u32);
-    // Trail semantics match the sequential scan: stop at the first
-    // deadlock budget.
-    let cut = min.map(|m| m as usize + 1).unwrap_or(results.len());
-    (min, results.into_iter().take(cut).collect())
+    let mut trail = Vec::new();
+    for budget in 0..=max_budget {
+        let result = explore_parallel(
+            sim,
+            &SearchConfig {
+                stall_budget: budget,
+                max_states,
+            },
+            threads,
+        );
+        let found = result.verdict.is_deadlock();
+        trail.push(result);
+        if found {
+            return (Some(budget), trail);
+        }
+    }
+    (None, trail)
 }
 
 /// Replay a witness from the empty network; returns the deadlock
@@ -380,8 +376,9 @@ pub fn render_witness(sim: &Sim, net: &wormnet::Network, witness: &Witness) -> S
     grid.render(net)
 }
 
-/// All decision combinations worth exploring from `state`.
-fn decision_options(sim: &Sim, state: &SimState, budget: u32) -> Vec<Decisions> {
+/// All decision combinations worth exploring from `state` (shared with
+/// the parallel engine in [`crate::parallel`]).
+pub(crate) fn decision_options(sim: &Sim, state: &SimState, budget: u32) -> Vec<Decisions> {
     // Messages that could actually inject now: pending, and their
     // first channel is empty and unowned (others are no-ops).
     let injectable: Vec<MessageId> = sim
@@ -467,38 +464,6 @@ fn subsets(items: &[MessageId]) -> Vec<Vec<MessageId>> {
                 .collect()
         })
         .collect()
-}
-
-/// Compact canonical encoding of (state, budget) over the channels
-/// that can ever be occupied. Message lengths are < 2^16 but every
-/// experiment uses < 256 flits, so windows fit in bytes; the encoder
-/// falls back to two bytes per field when needed.
-fn encode(sim: &Sim, state: &SimState, budget: u32, relevant: &[usize]) -> Vec<u8> {
-    let wide = sim.messages().any(|m| sim.length(m) >= 256);
-    let mut key = Vec::with_capacity(relevant.len() * 3 + state.injected.len() * 2 + 4);
-    key.extend_from_slice(&budget.to_le_bytes());
-    let push16 = |key: &mut Vec<u8>, v: u16, wide: bool| {
-        if wide {
-            key.extend_from_slice(&v.to_le_bytes());
-        } else {
-            key.push(v as u8);
-        }
-    };
-    for &ci in relevant {
-        match state.channels[ci] {
-            None => key.push(0xFF),
-            Some(occ) => {
-                key.push(occ.msg.index() as u8);
-                push16(&mut key, occ.lo, wide);
-                push16(&mut key, occ.hi, wide);
-            }
-        }
-    }
-    for i in 0..state.injected.len() {
-        push16(&mut key, state.injected[i], wide);
-        push16(&mut key, state.consumed[i], wide);
-    }
-    key
 }
 
 #[cfg(test)]
@@ -606,8 +571,15 @@ mod tests {
             },
         );
         // With a 1-state budget we either found the deadlock very
-        // early (possible: DFS order) or gave up.
-        assert!(matches!(result.verdict, Verdict::Inconclusive) || result.verdict.is_deadlock());
+        // early (possible: DFS order) or gave up; giving up reports
+        // how far the search got.
+        match result.verdict {
+            Verdict::Inconclusive { states_visited } => {
+                assert!(states_visited > 1);
+                assert_eq!(states_visited, result.states_explored);
+            }
+            ref v => assert!(v.is_deadlock(), "{v:?}"),
+        }
     }
 
     #[test]
@@ -681,12 +653,17 @@ mod tests {
             .collect();
         let sim = Sim::new(&net, &table, specs, None).unwrap();
         let (seq_min, seq_trail) = min_stall_budget(&sim, 3, 1_000_000);
-        let (par_min, par_trail) = min_stall_budget_parallel(&sim, 3, 1_000_000);
+        let (par_min, par_trail) = min_stall_budget_parallel(&sim, 3, 1_000_000, 4);
         assert_eq!(seq_min, par_min);
         assert_eq!(seq_trail.len(), par_trail.len());
         for (a, b) in seq_trail.iter().zip(&par_trail) {
             assert_eq!(a.verdict.is_deadlock(), b.verdict.is_deadlock());
-            assert_eq!(a.states_explored, b.states_explored);
+            if a.verdict.is_free() {
+                // Both engines exhaust the same deduplicated reachable
+                // set; on the deadlock budget their early-exit points
+                // legitimately differ (DFS vs layered BFS).
+                assert_eq!(a.states_explored, b.states_explored);
+            }
         }
     }
 
@@ -700,9 +677,10 @@ mod tests {
             MessageSpec::new(NodeId::from_index(2), NodeId::from_index(0), 2),
         ];
         let sim = Sim::new(&net, &table, specs, None).unwrap();
-        let (min, trail) = min_stall_budget_parallel(&sim, 2, 1_000_000);
+        let (min, trail) = min_stall_budget_parallel(&sim, 2, 1_000_000, 2);
         assert_eq!(min, None);
         assert_eq!(trail.len(), 3);
+        assert!(trail.iter().all(|r| r.metrics.threads == 2));
     }
 
     #[test]

@@ -23,6 +23,32 @@
 //! its verdicts are exact for the given message set and lengths:
 //! either a [`Witness`] schedule driving the network into deadlock, or
 //! a proof that no interleaving deadlocks.
+//!
+//! ## Engines
+//!
+//! Two engines share the same decision enumeration and the same
+//! bit-packed state keys ([`wormsim::StateCodec`]):
+//!
+//! * [`explore`] — sequential depth-first search. The oracle: simple,
+//!   deterministic, and memory-lean (no parent pointers).
+//! * [`explore_parallel`] — layer-synchronized breadth-first search
+//!   over work-stealing worker threads. Returns the **same verdict**
+//!   as [`explore`] on every input, and its witness is *shortest* and
+//!   *identical for every thread count* (layers complete before any
+//!   early exit; parent pointers min-merge; the smallest goal key
+//!   wins). Prefer it for large scenarios; `threads = 0` uses every
+//!   core. [`min_stall_budget_parallel`] scans stall budgets on top of
+//!   it, and [`adaptive::explore_adaptive_parallel`] runs adaptive
+//!   scenarios on the same core.
+//!
+//! Every result carries [`SearchMetrics`] — states/second, frontier
+//! peak, dedup hit-rate, per-worker steal counts — printed by the
+//! `exp_*` binaries via [`SearchMetrics::summary`].
+//!
+//! Searches that exceed [`SearchConfig::max_states`] return
+//! [`Verdict::Inconclusive`] carrying the number of states visited;
+//! this is a verdict about the *search*, never a claim about the
+//! network.
 
 //! ```
 //! use wormnet::topology::ring_unidirectional;
@@ -45,6 +71,7 @@
 #![warn(missing_docs)]
 
 mod explore;
+mod parallel;
 mod verdict;
 
 pub mod adaptive;
@@ -53,4 +80,5 @@ pub use explore::{
     explore, explore_shortest, explore_until, min_stall_budget, min_stall_budget_parallel,
     render_witness, replay, SearchConfig,
 };
-pub use verdict::{SearchResult, Verdict, Witness};
+pub use parallel::explore_parallel;
+pub use verdict::{SearchMetrics, SearchResult, Verdict, Witness};

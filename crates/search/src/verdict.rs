@@ -1,4 +1,6 @@
-//! Search verdicts and deadlock witnesses.
+//! Search verdicts, deadlock witnesses, and exploration metrics.
+
+use std::time::Duration;
 
 use wormsim::{Decisions, MessageId};
 
@@ -34,7 +36,10 @@ pub enum Verdict {
     /// stall budget) can deadlock. Exact, not a timeout.
     DeadlockFree,
     /// The state budget ran out before the space was exhausted.
-    Inconclusive,
+    Inconclusive {
+        /// Distinct states visited when the search gave up.
+        states_visited: usize,
+    },
 }
 
 impl Verdict {
@@ -47,6 +52,77 @@ impl Verdict {
     pub fn is_free(&self) -> bool {
         matches!(self, Verdict::DeadlockFree)
     }
+
+    /// Whether the search gave up before exhausting the space.
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Verdict::Inconclusive { .. })
+    }
+}
+
+/// Throughput and memoization statistics of one exploration.
+///
+/// Filled by every engine; the parallel engine additionally reports
+/// per-worker steal counts and the layer count of its breadth-first
+/// sweep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SearchMetrics {
+    /// Wall-clock duration of the exploration.
+    pub elapsed: Duration,
+    /// Distinct states visited per second of wall clock.
+    pub states_per_sec: f64,
+    /// Largest frontier observed (BFS layer width for the parallel
+    /// engine, deepest stack for the sequential one).
+    pub frontier_peak: usize,
+    /// Successor states that were already memoized.
+    pub dedup_hits: u64,
+    /// Total successor-state lookups.
+    pub dedup_lookups: u64,
+    /// Successful steals per worker (empty for sequential searches).
+    pub steals: Vec<u64>,
+    /// Worker threads used (1 for sequential searches).
+    pub threads: usize,
+    /// Completed BFS layers (0 for depth-first searches).
+    pub layers: usize,
+}
+
+impl SearchMetrics {
+    /// Fraction of successor lookups that hit the memo table.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.dedup_lookups == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.dedup_lookups as f64
+        }
+    }
+
+    /// Total successful steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.steals.iter().sum()
+    }
+
+    /// Derive `states_per_sec` from a state count and `elapsed`.
+    pub(crate) fn finish(&mut self, states: usize) {
+        let secs = self.elapsed.as_secs_f64();
+        self.states_per_sec = if secs > 0.0 {
+            states as f64 / secs
+        } else {
+            0.0
+        };
+    }
+
+    /// One-line human-readable summary (used by the `exp_*` binaries).
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.0} states/s, {} layers, frontier peak {}, dedup {:.1}%, {} steals on {} threads, {:.3}s",
+            self.states_per_sec,
+            self.layers,
+            self.frontier_peak,
+            self.dedup_hit_rate() * 100.0,
+            self.total_steals(),
+            self.threads,
+            self.elapsed.as_secs_f64(),
+        )
+    }
 }
 
 /// Verdict plus exploration statistics.
@@ -56,6 +132,25 @@ pub struct SearchResult {
     pub verdict: Verdict,
     /// Distinct states visited.
     pub states_explored: usize,
+    /// Throughput and memoization statistics.
+    pub metrics: SearchMetrics,
+}
+
+impl SearchResult {
+    /// Result with empty metrics.
+    pub(crate) fn new(verdict: Verdict, states_explored: usize) -> Self {
+        SearchResult {
+            verdict,
+            states_explored,
+            metrics: SearchMetrics::default(),
+        }
+    }
+
+    /// Attach metrics (builder style).
+    pub(crate) fn with_metrics(mut self, metrics: SearchMetrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -82,11 +177,47 @@ mod tests {
     fn verdict_predicates() {
         assert!(Verdict::DeadlockFree.is_free());
         assert!(!Verdict::DeadlockFree.is_deadlock());
-        assert!(!Verdict::Inconclusive.is_free());
+        let inconclusive = Verdict::Inconclusive { states_visited: 17 };
+        assert!(!inconclusive.is_free());
+        assert!(inconclusive.is_inconclusive());
         let w = Witness {
             decisions: vec![],
             members: vec![],
         };
         assert!(Verdict::DeadlockReachable(w).is_deadlock());
+    }
+
+    #[test]
+    fn inconclusive_carries_count() {
+        let Verdict::Inconclusive { states_visited } =
+            (Verdict::Inconclusive { states_visited: 42 })
+        else {
+            unreachable!()
+        };
+        assert_eq!(states_visited, 42);
+    }
+
+    #[test]
+    fn metrics_rates() {
+        let mut m = SearchMetrics {
+            elapsed: Duration::from_millis(500),
+            dedup_hits: 30,
+            dedup_lookups: 120,
+            steals: vec![2, 3, 0, 5],
+            threads: 4,
+            ..SearchMetrics::default()
+        };
+        m.finish(1000);
+        assert!((m.states_per_sec - 2000.0).abs() < 1e-6);
+        assert!((m.dedup_hit_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(m.total_steals(), 10);
+        assert!(m.summary().contains("threads"));
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = SearchMetrics::default();
+        assert_eq!(m.dedup_hit_rate(), 0.0);
+        assert_eq!(m.total_steals(), 0);
     }
 }

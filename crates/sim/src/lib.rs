@@ -61,6 +61,7 @@ mod message;
 mod state;
 
 pub mod adaptive;
+pub mod packed;
 pub mod runner;
 pub mod skew;
 pub mod stats;
@@ -70,4 +71,5 @@ pub mod traffic;
 pub use engine::{Decisions, Sim, StepReport};
 pub use error::SimError;
 pub use message::{MessageId, MessageSpec};
+pub use packed::{PackedState, StateCodec};
 pub use state::{ChannelOcc, SimState};

@@ -1,0 +1,411 @@
+//! Bit-packed canonical encoding of [`SimState`] for search memoization.
+//!
+//! The reachability search memoizes every visited `(state, budget)`
+//! pair, so the key encoding dominates both the memory footprint and
+//! the hash cost of a run. The byte encoding this replaces spent a
+//! full byte (or two) per field; here a [`StateCodec`] derives the
+//! minimal field widths once per scenario — ⌈log₂⌉ of each field's
+//! value count — and packs the whole configuration into a handful of
+//! `u64` words:
+//!
+//! * one *owner* field per **relevant** channel (a channel on some
+//!   message's path; all others can never be occupied), with an extra
+//!   sentinel value for "empty";
+//! * `lo`/`hi` flit-window fields per relevant channel;
+//! * `injected`/`consumed` counters per message;
+//! * the remaining stall budget.
+//!
+//! Typical paper scenarios (≤ 6 messages, ≤ 20 relevant channels,
+//! lengths ≤ 8) fit in 2–3 words, so keys usually stay inline —
+//! [`PackedState`] stores up to [`INLINE_WORDS`] words without heap
+//! allocation and spills to a boxed slice beyond that.
+//!
+//! Keys are [`Ord`]: the parallel search uses the lexicographic order
+//! on packed words to pick a canonical witness among equally-shallow
+//! deadlock states, independent of thread scheduling.
+
+use crate::engine::Sim;
+use crate::state::{ChannelOcc, SimState};
+use crate::MessageId;
+
+/// Words a [`PackedState`] can hold without heap allocation.
+pub const INLINE_WORDS: usize = 3;
+
+/// A packed `(state, budget)` key produced by a [`StateCodec`].
+///
+/// Cheap to clone, hash and compare; a given codec always produces
+/// keys of the same width, so the derived `Eq`/`Ord`/`Hash` are
+/// consistent within one search.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PackedState {
+    /// Fits in [`INLINE_WORDS`] words (the common case).
+    Inline {
+        /// Number of meaningful words (the rest are zero padding).
+        len: u8,
+        /// The packed words, unused tail zeroed.
+        words: [u64; INLINE_WORDS],
+    },
+    /// Wider states spill to the heap.
+    Heap(Box<[u64]>),
+}
+
+impl PackedState {
+    fn from_words(words: Vec<u64>) -> Self {
+        if words.len() <= INLINE_WORDS {
+            let mut inline = [0u64; INLINE_WORDS];
+            inline[..words.len()].copy_from_slice(&words);
+            PackedState::Inline {
+                len: words.len() as u8,
+                words: inline,
+            }
+        } else {
+            PackedState::Heap(words.into_boxed_slice())
+        }
+    }
+
+    /// The packed words.
+    pub fn words(&self) -> &[u64] {
+        match self {
+            PackedState::Inline { len, words } => &words[..*len as usize],
+            PackedState::Heap(words) => words,
+        }
+    }
+}
+
+/// Bits needed to distinguish `values` distinct values.
+fn bits_for(values: u64) -> u32 {
+    if values <= 1 {
+        0
+    } else {
+        64 - (values - 1).leading_zeros()
+    }
+}
+
+struct BitWriter {
+    words: Vec<u64>,
+    bits_used: u32,
+}
+
+impl BitWriter {
+    fn with_capacity(words: usize) -> Self {
+        BitWriter {
+            words: Vec::with_capacity(words),
+            bits_used: 64,
+        }
+    }
+
+    fn push(&mut self, value: u64, bits: u32) {
+        debug_assert!(bits == 64 || value < (1u64 << bits));
+        if bits == 0 {
+            return;
+        }
+        if self.bits_used == 64 {
+            self.words.push(0);
+            self.bits_used = 0;
+        }
+        let room = 64 - self.bits_used;
+        let word = self.words.last_mut().expect("word pushed above");
+        *word |= value << self.bits_used;
+        if bits <= room {
+            self.bits_used += bits;
+        } else {
+            // Spill the high part into a fresh word.
+            self.words.push(value >> room);
+            self.bits_used = bits - room;
+        }
+    }
+}
+
+struct BitReader<'a> {
+    words: &'a [u64],
+    cursor: usize,
+    bits_used: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        BitReader {
+            words,
+            cursor: 0,
+            bits_used: 0,
+        }
+    }
+
+    fn pull(&mut self, bits: u32) -> u64 {
+        if bits == 0 {
+            return 0;
+        }
+        let room = 64 - self.bits_used;
+        let mut value = self.words[self.cursor] >> self.bits_used;
+        if bits <= room {
+            self.bits_used += bits;
+        } else {
+            self.cursor += 1;
+            value |= self.words[self.cursor] << room;
+            self.bits_used = bits - room;
+        }
+        if self.bits_used == 64 {
+            self.cursor += 1;
+            self.bits_used = 0;
+        }
+        if bits == 64 {
+            value
+        } else {
+            value & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+/// Field-width plan for packing one scenario's states.
+///
+/// Built once per search from the [`Sim`] (and the maximum stall
+/// budget that will ever be encoded); [`StateCodec::pack`] and
+/// [`StateCodec::unpack`] then convert states losslessly.
+#[derive(Clone, Debug)]
+pub struct StateCodec {
+    /// Channel indices that can ever be occupied, sorted.
+    relevant: Vec<u32>,
+    channel_count: usize,
+    message_count: usize,
+    msg_bits: u32,
+    flit_bits: u32,
+    budget_bits: u32,
+    words: usize,
+}
+
+impl StateCodec {
+    /// Derive the packing plan for `sim`, with budgets up to
+    /// `max_budget` encodable.
+    pub fn new(sim: &Sim, max_budget: u32) -> Self {
+        let mut relevant: Vec<u32> = sim
+            .messages()
+            .flat_map(|m| sim.path(m).iter().map(|c| c.index() as u32))
+            .collect();
+        relevant.sort_unstable();
+        relevant.dedup();
+
+        let message_count = sim.message_count();
+        let max_len = sim.messages().map(|m| sim.length(m)).max().unwrap_or(0) as u64;
+        // Owner field: message ids plus one sentinel for "empty".
+        let msg_bits = bits_for(message_count as u64 + 1);
+        // lo/hi/injected/consumed all range over 0..=max_len.
+        let flit_bits = bits_for(max_len + 1);
+        let budget_bits = bits_for(max_budget as u64 + 1);
+
+        let total_bits = budget_bits as usize
+            + relevant.len() * (msg_bits + 2 * flit_bits) as usize
+            + message_count * 2 * flit_bits as usize;
+        let words = total_bits.div_ceil(64).max(1);
+
+        StateCodec {
+            relevant,
+            channel_count: sim.channel_count(),
+            message_count,
+            msg_bits,
+            flit_bits,
+            budget_bits,
+            words,
+        }
+    }
+
+    /// Words per packed key for this scenario.
+    pub fn packed_words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of channels that can ever be occupied.
+    pub fn relevant_channels(&self) -> usize {
+        self.relevant.len()
+    }
+
+    /// Pack `(state, budget)` into its canonical key.
+    pub fn pack(&self, state: &SimState, budget: u32) -> PackedState {
+        let empty = self.message_count as u64;
+        let mut w = BitWriter::with_capacity(self.words);
+        w.push(budget as u64, self.budget_bits);
+        for &ci in &self.relevant {
+            match state.channels[ci as usize] {
+                None => {
+                    w.push(empty, self.msg_bits);
+                    w.push(0, self.flit_bits);
+                    w.push(0, self.flit_bits);
+                }
+                Some(occ) => {
+                    w.push(occ.msg.index() as u64, self.msg_bits);
+                    w.push(occ.lo as u64, self.flit_bits);
+                    w.push(occ.hi as u64, self.flit_bits);
+                }
+            }
+        }
+        for i in 0..self.message_count {
+            w.push(state.injected[i] as u64, self.flit_bits);
+            w.push(state.consumed[i] as u64, self.flit_bits);
+        }
+        PackedState::from_words(w.words)
+    }
+
+    /// Invert [`StateCodec::pack`]: reconstruct the state and budget.
+    ///
+    /// Channels outside the relevant set come back `None`, which is
+    /// exact — they can never be occupied.
+    pub fn unpack(&self, packed: &PackedState) -> (SimState, u32) {
+        let mut r = BitReader::new(packed.words());
+        let budget = r.pull(self.budget_bits) as u32;
+        let empty = self.message_count as u64;
+        let mut state = SimState::new(self.channel_count, self.message_count);
+        for &ci in &self.relevant {
+            let owner = r.pull(self.msg_bits);
+            let lo = r.pull(self.flit_bits) as u16;
+            let hi = r.pull(self.flit_bits) as u16;
+            if owner != empty {
+                state.channels[ci as usize] = Some(ChannelOcc {
+                    msg: MessageId::from_index(owner as usize),
+                    lo,
+                    hi,
+                });
+            }
+        }
+        for i in 0..self.message_count {
+            state.injected[i] = r.pull(self.flit_bits) as u16;
+            state.consumed[i] = r.pull(self.flit_bits) as u16;
+        }
+        (state, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decisions, MessageSpec, Sim};
+    use wormnet::topology::ring_unidirectional;
+    use wormroute::algorithms::clockwise_ring;
+
+    fn ring_sim() -> Sim {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..4)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 2))
+            .collect();
+        Sim::new(&net, &table, specs, None).unwrap()
+    }
+
+    #[test]
+    fn bit_writer_reader_round_trip() {
+        let mut w = BitWriter::with_capacity(2);
+        let fields: Vec<(u64, u32)> = vec![
+            (3, 2),
+            (0, 0),
+            (129, 9),
+            (u64::MAX, 64),
+            (1, 1),
+            ((1 << 33) - 5, 33),
+            (7, 3),
+        ];
+        for &(v, b) in &fields {
+            w.push(v, b);
+        }
+        let mut r = BitReader::new(&w.words);
+        for &(v, b) in &fields {
+            assert_eq!(r.pull(b), v, "field width {b}");
+        }
+    }
+
+    #[test]
+    fn bits_for_counts() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(256), 8);
+        assert_eq!(bits_for(257), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn ring_key_fits_inline() {
+        let sim = ring_sim();
+        let codec = StateCodec::new(&sim, 3);
+        assert!(codec.packed_words() <= INLINE_WORDS);
+        let key = codec.pack(&sim.initial_state(), 3);
+        assert!(matches!(key, PackedState::Inline { .. }));
+    }
+
+    #[test]
+    fn pack_round_trips_along_a_run() {
+        let sim = ring_sim();
+        let codec = StateCodec::new(&sim, 2);
+        let mut state = sim.initial_state();
+        let inject_all = Decisions {
+            inject: sim.messages().collect(),
+            ..Decisions::default()
+        };
+        let idle = Decisions::default();
+        for cycle in 0..6 {
+            let (back, budget) = codec.unpack(&codec.pack(&state, 2));
+            assert_eq!(back, state, "cycle {cycle}");
+            assert_eq!(budget, 2);
+            sim.step(&mut state, if cycle == 0 { &inject_all } else { &idle });
+        }
+    }
+
+    #[test]
+    fn distinct_states_get_distinct_keys() {
+        let sim = ring_sim();
+        let codec = StateCodec::new(&sim, 0);
+        let empty = sim.initial_state();
+        let mut one_injected = sim.initial_state();
+        sim.step(
+            &mut one_injected,
+            &Decisions {
+                inject: vec![MessageId::from_index(0)],
+                ..Decisions::default()
+            },
+        );
+        assert_ne!(codec.pack(&empty, 0), codec.pack(&one_injected, 0));
+    }
+
+    #[test]
+    fn budget_is_part_of_the_key() {
+        let sim = ring_sim();
+        let codec = StateCodec::new(&sim, 5);
+        let s = sim.initial_state();
+        assert_ne!(codec.pack(&s, 5), codec.pack(&s, 4));
+    }
+
+    #[test]
+    fn keys_are_totally_ordered() {
+        let sim = ring_sim();
+        let codec = StateCodec::new(&sim, 1);
+        let a = codec.pack(&sim.initial_state(), 0);
+        let b = codec.pack(&sim.initial_state(), 1);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        assert!(lo < hi);
+        assert_eq!(lo.cmp(&lo), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn heap_spill_round_trips() {
+        // Force > INLINE_WORDS words via a long ring and many messages.
+        let (net, nodes) = ring_unidirectional(16);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let specs: Vec<MessageSpec> = (0..8)
+            .map(|i| MessageSpec::new(nodes[2 * i], nodes[(2 * i + 7) % 16], 9))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, None).unwrap();
+        let codec = StateCodec::new(&sim, 7);
+        assert!(codec.packed_words() > INLINE_WORDS);
+        let mut state = sim.initial_state();
+        sim.step(
+            &mut state,
+            &Decisions {
+                inject: sim.messages().collect(),
+                ..Decisions::default()
+            },
+        );
+        let key = codec.pack(&state, 7);
+        assert!(matches!(key, PackedState::Heap(_)));
+        let (back, budget) = codec.unpack(&key);
+        assert_eq!(back, state);
+        assert_eq!(budget, 7);
+    }
+}

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.8 API the workspace's
+//! benches use: [`Criterion`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per sample, the closure is run in a calibrated
+//! batch sized so one sample takes at least ~1 ms, and the mean /
+//! min / max time per iteration across samples is printed. Like real
+//! criterion, full measurement happens only when the binary receives a
+//! `--bench` argument (which `cargo bench` passes); under `cargo test`
+//! each benchmark body runs once as a smoke test so test runs stay
+//! fast. A positional CLI argument acts as a substring filter on
+//! benchmark names, matching `cargo bench -- <filter>`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Runs the closure under `cargo bench`-style measurement.
+pub struct Bencher {
+    samples: usize,
+    measuring: bool,
+    recorded: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `f`, excluding setup done before this call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measuring {
+            std::hint::black_box(f());
+            return;
+        }
+        // Calibrate: batch iterations until one batch takes >= 1 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters_per_sample = iters;
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn per_iter(total: Duration, iters: u64) -> Duration {
+    if iters == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos((total.as_nanos() / iters as u128) as u64)
+}
+
+fn run_benchmark(name: &str, cfg: &Config, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(filter) = &cfg.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: cfg.sample_size,
+        measuring: cfg.measure,
+        recorded: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    if !cfg.measure {
+        println!("{name}: ok (smoke run)");
+        return;
+    }
+    if b.recorded.is_empty() {
+        println!("{name}: no measurement recorded");
+        return;
+    }
+    let min = *b.recorded.iter().min().unwrap();
+    let max = *b.recorded.iter().max().unwrap();
+    let total: Duration = b.recorded.iter().sum();
+    let mean = total / b.recorded.len() as u32;
+    println!(
+        "{name}: mean {:?}  min {:?}  max {:?}  ({} samples x {} iters)",
+        per_iter(mean, b.iters_per_sample),
+        per_iter(min, b.iters_per_sample),
+        per_iter(max, b.iters_per_sample),
+        b.recorded.len(),
+        b.iters_per_sample,
+    );
+}
+
+#[derive(Clone)]
+struct Config {
+    sample_size: usize,
+    measure: bool,
+    filter: Option<String>,
+}
+
+/// Benchmark registry / runner (the `c` in `fn bench(c: &mut Criterion)`).
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let measure = args.iter().any(|a| a == "--bench");
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with("--") && *a != "ignored")
+            .cloned();
+        Criterion {
+            cfg: Config {
+                sample_size: 50,
+                measure,
+                filter,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&name.into(), &self.cfg, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg.clone(),
+            _parent: self,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_benchmark(&full, &self.cfg, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_benchmark(&full, &self.cfg, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Conversion accepted wherever a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Convert to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let cfg = Config {
+            sample_size: 10,
+            measure: false,
+            filter: None,
+        };
+        let mut count = 0usize;
+        run_benchmark("smoke", &cfg, &mut |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measure_mode_records_samples() {
+        let cfg = Config {
+            sample_size: 5,
+            measure: true,
+            filter: None,
+        };
+        let mut ran = false;
+        run_benchmark("measured", &cfg, &mut |b| {
+            b.iter(|| std::hint::black_box(3u64.pow(7)));
+            ran = true;
+            assert_eq!(b.recorded.len(), 5);
+            assert!(b.iters_per_sample >= 1);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let cfg = Config {
+            sample_size: 5,
+            measure: false,
+            filter: Some("other".into()),
+        };
+        let mut count = 0usize;
+        run_benchmark("smoke", &cfg, &mut |b| b.iter(|| count += 1));
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+        assert_eq!(BenchmarkId::new("depth", 4).id, "depth/4");
+    }
+}

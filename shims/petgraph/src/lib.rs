@@ -1,0 +1,222 @@
+//! Offline stand-in for the `petgraph` crate.
+//!
+//! The workspace uses petgraph only as an independent oracle for
+//! strongly connected components in tests, so this shim provides just
+//! [`graph::DiGraph`] (`new` / `add_node` / `add_edge`),
+//! [`graph::NodeIndex`], and [`algo::tarjan_scc`]. The SCC
+//! implementation is an iterative Tarjan, so it is stack-safe on deep
+//! graphs and — matching petgraph's contract — returns components in
+//! reverse topological order with each component's members in the
+//! order they were completed.
+
+#![forbid(unsafe_code)]
+
+/// Graph types.
+pub mod graph {
+    /// Identifier of a node within a [`DiGraph`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub struct NodeIndex(pub(crate) usize);
+
+    impl NodeIndex {
+        /// Position of the node in insertion order.
+        pub fn index(&self) -> usize {
+            self.0
+        }
+
+        /// Build from a raw index.
+        pub fn new(i: usize) -> Self {
+            NodeIndex(i)
+        }
+    }
+
+    /// Directed graph with node weights `N` and edge weights `E`,
+    /// stored as adjacency lists in insertion order.
+    #[derive(Clone, Debug, Default)]
+    pub struct DiGraph<N, E> {
+        pub(crate) nodes: Vec<N>,
+        pub(crate) edges: Vec<Vec<(usize, E)>>,
+    }
+
+    impl<N, E> DiGraph<N, E> {
+        /// Empty graph.
+        pub fn new() -> Self {
+            DiGraph {
+                nodes: Vec::new(),
+                edges: Vec::new(),
+            }
+        }
+
+        /// Add a node, returning its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            self.edges.push(Vec::new());
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Add a directed edge `a -> b`.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) {
+            assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len());
+            self.edges[a.0].push((b.0, weight));
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.iter().map(Vec::len).sum()
+        }
+    }
+}
+
+/// Graph algorithms.
+pub mod algo {
+    use super::graph::{DiGraph, NodeIndex};
+
+    /// Strongly connected components via iterative Tarjan, in reverse
+    /// topological order.
+    pub fn tarjan_scc<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeIndex>> {
+        let n = g.nodes.len();
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<NodeIndex>> = Vec::new();
+
+        // Explicit DFS frames: (node, next child position to examine).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            loop {
+                // Copy the frame out (advancing its child cursor) so
+                // the `frames` borrow ends before we push or pop.
+                let (v, child) = match frames.last_mut() {
+                    None => break,
+                    Some(frame) => {
+                        let snapshot = (frame.0, frame.1);
+                        if frame.1 < g.edges[frame.0].len() {
+                            frame.1 += 1;
+                        }
+                        snapshot
+                    }
+                };
+                if child < g.edges[v].len() {
+                    let w = g.edges[v][child].0;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component.push(NodeIndex::new(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(component);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::algo::tarjan_scc;
+    use super::graph::DiGraph;
+
+    fn normalize(mut comps: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        for c in &mut comps {
+            c.sort_unstable();
+        }
+        comps.sort();
+        comps
+    }
+
+    fn sccs(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        let mut g = DiGraph::<(), ()>::new();
+        let idx: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+        for &(u, v) in edges {
+            g.add_edge(idx[u], idx[v], ());
+        }
+        normalize(
+            tarjan_scc(&g)
+                .into_iter()
+                .map(|c| c.into_iter().map(|x| x.index()).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        assert_eq!(sccs(3, &[(0, 1), (1, 2), (2, 0)]), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn dag_gives_singletons() {
+        assert_eq!(sccs(3, &[(0, 1), (1, 2)]), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        assert_eq!(
+            sccs(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2)]),
+            vec![vec![0, 1], vec![2, 3, 4]]
+        );
+    }
+
+    #[test]
+    fn deep_chain_is_stack_safe() {
+        let n = 200_000;
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        let comps = sccs(n, &edges);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+    }
+
+    #[test]
+    fn reverse_topological_order() {
+        // 0 -> 1 -> 2 (all singletons): component containing 2 must
+        // come before the one containing 0.
+        let mut g = DiGraph::<(), ()>::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let comps = tarjan_scc(&g);
+        let pos =
+            |x: super::graph::NodeIndex| comps.iter().position(|cmp| cmp.contains(&x)).unwrap();
+        assert!(pos(c) < pos(b) && pos(b) < pos(a));
+    }
+}

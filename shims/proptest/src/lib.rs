@@ -1,0 +1,573 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim
+//! implements the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro (including
+//! `#![proptest_config(..)]`), [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`], [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! integer-range and tuple strategies, [`prop_oneof!`], [`Just`],
+//! `any::<T>()`, and `prop::collection::vec`.
+//!
+//! Differences from real proptest: no shrinking (a failing case
+//! reports its attempt number and seed, which reproduce it exactly —
+//! generation is deterministic per test name), and no persistence
+//! (`.proptest-regressions` files are ignored).
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Deterministic generation source handed to strategies.
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Build from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(rand::rngs::StdRng::seed_from_u64(seed))
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform integer in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.random_range(0..n.max(1))
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs: try another case.
+    Reject(String),
+}
+
+/// Runner configuration (`cases` = accepted cases per test).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a hash used to derive a per-test seed from its name.
+#[doc(hidden)]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        strategy::Map { base: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> strategy::FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        strategy::FlatMap { base: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Combinator strategies and [`prop_oneof!`] support.
+pub mod strategy {
+    use super::{Strategy, TestRng};
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+    pub struct OneOf<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from the alternatives (must be non-empty).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs alternatives");
+            OneOf { options }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Produce an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`,
+/// `prop::sample::subsequence`).
+pub mod prop {
+    /// Sampling from existing collections.
+    pub mod sample {
+        use super::collection::SizeRange;
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for order-preserving subsequences of a vector.
+        pub struct Subsequence<T: Clone> {
+            values: Vec<T>,
+            size: SizeRange,
+        }
+
+        /// A subsequence of `values` (original order kept) whose
+        /// length is drawn from `size` (a fixed `usize` or a range),
+        /// clamped to the number of available values.
+        pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+            Subsequence {
+                values,
+                size: size.into(),
+            }
+        }
+
+        impl<T: Clone> Strategy for Subsequence<T> {
+            type Value = Vec<T>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+                let n = self.values.len();
+                let len = self.size.sample(rng).min(n);
+                // Floyd's algorithm: `len` distinct indices in 0..n.
+                let mut picked: Vec<usize> = Vec::with_capacity(len);
+                for j in n - len..n {
+                    let t = rng.below(j + 1);
+                    if picked.contains(&t) {
+                        picked.push(j);
+                    } else {
+                        picked.push(t);
+                    }
+                }
+                picked.sort_unstable();
+                picked.into_iter().map(|i| self.values[i].clone()).collect()
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Acceptable size specifications for [`vec`].
+        pub struct SizeRange {
+            lo: usize,
+            hi_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    lo: n,
+                    hi_exclusive: n + 1,
+                }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi_exclusive: r.end,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                let (lo, hi) = r.into_inner();
+                SizeRange {
+                    lo,
+                    hi_exclusive: hi + 1,
+                }
+            }
+        }
+
+        impl SizeRange {
+            /// Draw a length from this range.
+            pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+                let span = self.hi_exclusive - self.lo;
+                self.lo + rng.below(span.max(1))
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// Vector of values from `elem`, length within `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.sample(rng);
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Declare property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items (attributes and doc
+/// comments on each are preserved — including `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strat:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::fnv1a(stringify!($name));
+            let __max_attempts = __config.cases.saturating_mul(16).max(64);
+            let mut __accepted: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __accepted < __config.cases && __attempts < __max_attempts {
+                __attempts += 1;
+                let mut __rng = $crate::TestRng::from_seed(
+                    __seed ^ (__attempts as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest `{}` failed (attempt {}, base seed {:#x}): {}",
+                            stringify!($name),
+                            __attempts,
+                            __seed,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a boolean property; fails the current case (not the whole
+/// process) so the runner can report the failing attempt.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __left,
+            __right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$a, &$b);
+        $crate::prop_assert!(*__left == *__right, $($fmt)+);
+    }};
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __left
+        );
+    }};
+}
+
+/// Reject the current inputs (the case is regenerated, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let __options: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($s)),+];
+        $crate::strategy::OneOf::new(__options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0u64..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn tuples_and_vec(v in prop::collection::vec((0usize..4, 1usize..3), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 4, "a = {a}");
+                prop_assert_eq!(b.clamp(1, 2), b);
+            }
+        }
+
+        #[test]
+        fn flat_map_and_just(
+            (n, k) in (1usize..6).prop_flat_map(|n| (Just(n), 0usize..n)),
+        ) {
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn oneof_and_assume(x in prop_oneof![0usize..3, 10usize..13], flag in any::<bool>()) {
+            prop_assume!(x != 2);
+            prop_assert!(x < 3 || (10..13).contains(&x));
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let s = (0usize..100, 0usize..100);
+        let mut r1 = crate::TestRng::from_seed(99);
+        let mut r2 = crate::TestRng::from_seed(99);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

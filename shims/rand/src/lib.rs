@@ -1,0 +1,282 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this shim
+//! provides the (small, deterministic) subset of the `rand` 0.10 API
+//! the workspace actually uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], uniform sampling through
+//! [`Rng::random_range`] / [`Rng::random`], and in-place shuffling via
+//! [`seq::SliceRandom`]. The generator is SplitMix64 — statistically
+//! fine for simulations and property tests, **not** cryptographic.
+//!
+//! Everything is deterministic from the seed, which is exactly what
+//! the experiments and tests rely on.
+
+#![forbid(unsafe_code)]
+
+/// Types that can construct themselves from entropy.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A source of random bits (the `RngCore` role in real rand).
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+// Unbiased uniform integer in `0..n` from a raw 64-bit source. The
+// closure indirection (instead of taking `&mut impl Rng`) keeps
+// `random_range` free of `Self: Sized` bounds so `&mut impl Rng` call
+// sites work through auto-deref.
+fn below(next: &mut dyn FnMut() -> u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Rejection sampling on the top zone to avoid modulo bias.
+    let zone = u64::MAX - (u64::MAX - n + 1) % n;
+    loop {
+        let v = next();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Derived sampling helpers, as an extension trait over [`Rng`] —
+/// matching the real crate's split, so `use rand::RngExt;` call sites
+/// genuinely need the import.
+pub trait RngExt: Rng {
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// A uniformly random value of a primitive type.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_from_bits(self.next_u64()) < p
+    }
+}
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Ranges a value can be sampled from. `next` supplies raw 64-bit
+/// entropy.
+pub trait SampleRange<T> {
+    /// Sample uniformly from this range.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(next, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return next() as $t;
+                }
+                (lo as i128 + below(next, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_from_bits(next()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (unit_from_bits(next()) as f32) * (self.end - self.start)
+    }
+}
+
+fn unit_from_bits(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Primitive types [`Rng::random`] can produce.
+pub trait Random {
+    /// Uniformly random value.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_from_bits(rng.next_u64())
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for rand's
+    /// ChaCha-based `StdRng`; same API, weaker statistics, fully
+    /// reproducible from the seed).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Small fast generator; here identical to [`StdRng`].
+    pub type SmallRng = StdRng;
+}
+
+/// Slice sampling and shuffling.
+pub mod seq {
+    use super::{Rng, RngExt};
+
+    /// Shuffle and choose on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.random_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let i: i32 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn works_through_mut_ref_impl() {
+        fn takes_impl(rng: &mut impl Rng) -> u64 {
+            rng.random_range(0..10)
+        }
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        assert!(takes_impl(&mut rng) < 10);
+    }
+}

@@ -1,0 +1,301 @@
+//! Differential tests for the parallel work-stealing search engine.
+//!
+//! The sequential depth-first [`explore`] is the oracle: on every
+//! scenario — random small topologies under proptest, plus the paper's
+//! Figure 1–3 instances — the parallel engine must return the same
+//! verdict, its witnesses must replay into a real deadlock, and the
+//! witness must be identical for every thread count.
+
+use cyclic_wormhole::net::topology::{line, ring_unidirectional, Mesh};
+use cyclic_wormhole::net::Network;
+use cyclic_wormhole::route::algorithms::{clockwise_ring, shortest_path_table, xy_mesh};
+use cyclic_wormhole::route::TableRouting;
+use cyclic_wormhole::search::{
+    explore, explore_parallel, min_stall_budget, min_stall_budget_parallel, replay, SearchConfig,
+    Verdict,
+};
+use cyclic_wormhole::sim::{MessageSpec, Sim};
+use proptest::prelude::*;
+
+/// A random small scenario: topology, routing table, and 2–5 messages
+/// with lengths 1–4 (indices are folded onto the node count).
+fn build_scenario(
+    kind: usize,
+    n: usize,
+    msgs: &[(usize, usize, usize)],
+) -> Option<(Network, TableRouting, Vec<MessageSpec>)> {
+    let (net, nodes, table) = match kind {
+        0 => {
+            let (net, nodes) = ring_unidirectional(n);
+            let table = clockwise_ring(&net, &nodes).ok()?;
+            (net, nodes, table)
+        }
+        1 => {
+            let (net, nodes) = line(n);
+            let table = shortest_path_table(&net).ok()?;
+            (net, nodes, table)
+        }
+        _ => {
+            let mesh = Mesh::new(&[2, n.min(3)]);
+            let table = xy_mesh(&mesh).ok()?;
+            let nodes: Vec<_> = (0..mesh.network().node_count())
+                .map(cyclic_wormhole::net::NodeId::from_index)
+                .collect();
+            (mesh.network().clone(), nodes, table)
+        }
+    };
+    let count = nodes.len();
+    let specs: Vec<MessageSpec> = msgs
+        .iter()
+        .map(|&(s, d, len)| {
+            let src = nodes[s % count];
+            let mut dst = nodes[d % count];
+            if dst == src {
+                dst = nodes[(d + 1) % count];
+            }
+            MessageSpec::new(src, dst, len)
+        })
+        .filter(|m| m.src != m.dst)
+        .collect();
+    if specs.len() < 2 {
+        return None;
+    }
+    Some((net, table, specs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core differential: parallel (4 workers) verdict == sequential
+    /// verdict on random ring/line/mesh scenarios; deadlock witnesses
+    /// replay; deadlock-free runs visit identical state counts.
+    #[test]
+    fn parallel_matches_sequential_oracle(
+        kind in 0usize..3,
+        n in 3usize..=5,
+        budget in 0u32..=1,
+        msgs in prop::collection::vec((0usize..8, 0usize..8, 1usize..=4), 2..=5),
+    ) {
+        let Some((net, table, specs)) = build_scenario(kind, n, &msgs) else {
+            return Err(TestCaseError::Reject("degenerate scenario".into()));
+        };
+        let Ok(sim) = Sim::new(&net, &table, specs, Some(1)) else {
+            return Err(TestCaseError::Reject("unroutable".into()));
+        };
+        let config = SearchConfig {
+            stall_budget: budget,
+            max_states: 400_000,
+        };
+        let seq = explore(&sim, &config);
+        let par = explore_parallel(&sim, &config, 4);
+
+        prop_assert_eq!(seq.verdict.is_deadlock(), par.verdict.is_deadlock());
+        prop_assert_eq!(seq.verdict.is_free(), par.verdict.is_free());
+        prop_assert_eq!(seq.verdict.is_inconclusive(), par.verdict.is_inconclusive());
+        if par.verdict.is_free() {
+            // Both engines exhaust the same deduplicated reachable set.
+            prop_assert_eq!(seq.states_explored, par.states_explored);
+        }
+        if let Verdict::DeadlockReachable(witness) = &par.verdict {
+            let members = replay(&sim, witness);
+            prop_assert!(members.is_some(), "parallel witness must replay");
+            prop_assert_eq!(&members.unwrap(), &witness.members);
+        }
+    }
+
+    /// Witness round-trip and minimality: whenever the parallel engine
+    /// reports a deadlock, the schedule replays into the same deadlock
+    /// and no proper prefix of it is already deadlocked (the witness
+    /// is minimal in cycle count).
+    #[test]
+    fn parallel_witness_is_minimal_prefix(
+        n in 3usize..=5,
+        msgs in prop::collection::vec((0usize..8, 0usize..8, 2usize..=4), 2..=4),
+    ) {
+        let Some((net, table, specs)) = build_scenario(0, n, &msgs) else {
+            return Err(TestCaseError::Reject("degenerate scenario".into()));
+        };
+        let Ok(sim) = Sim::new(&net, &table, specs, Some(1)) else {
+            return Err(TestCaseError::Reject("unroutable".into()));
+        };
+        let par = explore_parallel(&sim, &SearchConfig::default(), 4);
+        let Verdict::DeadlockReachable(witness) = &par.verdict else {
+            return Ok(());
+        };
+        let mut state = sim.initial_state();
+        for (i, d) in witness.decisions.iter().enumerate() {
+            // Prefix of length i: not yet deadlocked.
+            prop_assert!(
+                sim.find_deadlock(&state).is_none(),
+                "prefix of length {} already deadlocked",
+                i
+            );
+            sim.step(&mut state, d);
+        }
+        let members = sim.find_deadlock(&state);
+        prop_assert!(members.is_some(), "full witness must deadlock");
+        prop_assert_eq!(&members.unwrap(), &witness.members);
+    }
+
+    /// Thread-count independence: 1, 2, and 5 workers produce the
+    /// identical witness (decisions and members) and state count.
+    #[test]
+    fn parallel_witness_is_thread_count_independent(
+        n in 3usize..=4,
+        budget in 0u32..=1,
+        msgs in prop::collection::vec((0usize..8, 0usize..8, 2usize..=3), 2..=4),
+    ) {
+        let Some((net, table, specs)) = build_scenario(0, n, &msgs) else {
+            return Err(TestCaseError::Reject("degenerate scenario".into()));
+        };
+        let Ok(sim) = Sim::new(&net, &table, specs, Some(1)) else {
+            return Err(TestCaseError::Reject("unroutable".into()));
+        };
+        let config = SearchConfig {
+            stall_budget: budget,
+            max_states: 400_000,
+        };
+        let reference = explore_parallel(&sim, &config, 1);
+        for threads in [2, 5] {
+            let result = explore_parallel(&sim, &config, threads);
+            prop_assert_eq!(result.states_explored, reference.states_explored);
+            match (&reference.verdict, &result.verdict) {
+                (Verdict::DeadlockReachable(a), Verdict::DeadlockReachable(b)) => {
+                    prop_assert_eq!(a, b, "witness differs at {} threads", threads);
+                }
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+}
+
+/// Paper instance differentials: Figure 1 (free with cyclic CDG),
+/// Figure 2 (two-message deadlock), all at 4 worker threads.
+#[test]
+fn fig1_and_fig2_instances_agree_across_engines() {
+    use cyclic_wormhole::core::paper::{fig1, fig2};
+
+    let c = fig1::cyclic_dependency();
+    let sim = Sim::new(&c.net, &c.table, c.message_specs(), Some(1)).unwrap();
+    let seq = explore(&sim, &SearchConfig::default());
+    let par = explore_parallel(&sim, &SearchConfig::default(), 4);
+    assert!(seq.verdict.is_free(), "{:?}", seq.verdict);
+    assert!(par.verdict.is_free(), "{:?}", par.verdict);
+    assert_eq!(seq.states_explored, par.states_explored);
+
+    let c = fig2::two_message_deadlock();
+    let sim = Sim::new(&c.net, &c.table, c.message_specs(), Some(1)).unwrap();
+    let seq = explore(&sim, &SearchConfig::default());
+    let par = explore_parallel(&sim, &SearchConfig::default(), 4);
+    assert!(seq.verdict.is_deadlock(), "{:?}", seq.verdict);
+    let Verdict::DeadlockReachable(witness) = &par.verdict else {
+        panic!(
+            "parallel must find the Figure 2 deadlock: {:?}",
+            par.verdict
+        );
+    };
+    let members = replay(&sim, witness).expect("witness replays");
+    assert_eq!(&members, &witness.members);
+}
+
+/// Theorem oracle: on each Figure 3 scenario (a)–(f), the parallel
+/// exhaustive search must agree with the paper's Theorem 5 verdict —
+/// (a),(b) unreachable (deadlock-free), (c)–(f) deadlockable — and
+/// with the worm-core classification pipeline.
+#[test]
+fn fig3_scenarios_parallel_search_matches_theorem_and_classifier() {
+    use cyclic_wormhole::core::classify::{classify_algorithm, ClassifyOptions};
+    use cyclic_wormhole::core::paper::fig3;
+
+    for s in fig3::all_scenarios() {
+        let c = s.spec.build();
+        let sim = Sim::new(&c.net, &c.table, s.message_specs(&c), Some(1)).expect("routed");
+        let par = explore_parallel(&sim, &SearchConfig::default(), 4);
+        assert_eq!(
+            par.verdict.is_free(),
+            s.paper_unreachable,
+            "scenario ({}): search {:?} vs paper unreachable={}",
+            s.name,
+            par.verdict,
+            s.paper_unreachable
+        );
+        if let Verdict::DeadlockReachable(witness) = &par.verdict {
+            let members = replay(&sim, witness).expect("fig3 witness replays");
+            assert_eq!(&members, &witness.members, "scenario ({})", s.name);
+        }
+
+        // The classification pipeline (theorems + search fallback,
+        // running the parallel engine) must agree on the algorithm.
+        let verdict = classify_algorithm(
+            &c.net,
+            &c.table,
+            &ClassifyOptions {
+                search_threads: 4,
+                ..ClassifyOptions::default()
+            },
+        );
+        assert_eq!(
+            verdict.is_deadlock_free(),
+            Some(s.paper_unreachable),
+            "scenario ({}): classifier {:?}",
+            s.name,
+            verdict
+        );
+    }
+}
+
+/// Regression: exceeding `max_states` must return
+/// `Verdict::Inconclusive` carrying the states-visited count — on both
+/// engines — never a spurious freedom claim.
+#[test]
+fn tiny_state_cap_is_inconclusive_with_count() {
+    // A deadlock-free instance, so neither engine can exit early via a
+    // goal: the only legal outcome under a tiny cap is Inconclusive.
+    let (net, _) = line(4);
+    let table = shortest_path_table(&net).unwrap();
+    let nodes: Vec<_> = (0..4)
+        .map(cyclic_wormhole::net::NodeId::from_index)
+        .collect();
+    let specs = vec![
+        MessageSpec::new(nodes[0], nodes[3], 3),
+        MessageSpec::new(nodes[3], nodes[0], 3),
+        MessageSpec::new(nodes[1], nodes[3], 2),
+    ];
+    let sim = Sim::new(&net, &table, specs, Some(1)).unwrap();
+
+    let full = explore(&sim, &SearchConfig::default());
+    assert!(full.verdict.is_free());
+    assert!(full.states_explored > 4, "cap below the true state count");
+
+    let config = SearchConfig {
+        stall_budget: 0,
+        max_states: 4,
+    };
+    for result in [explore(&sim, &config), explore_parallel(&sim, &config, 4)] {
+        let Verdict::Inconclusive { states_visited } = result.verdict else {
+            panic!("tiny cap must be inconclusive: {:?}", result.verdict);
+        };
+        assert!(
+            states_visited > 4,
+            "count reflects where the search stopped"
+        );
+        assert_eq!(states_visited, result.states_explored);
+    }
+}
+
+/// The budget scan built on the parallel engine agrees with the
+/// sequential scan on the minimum adversarial stall budget.
+#[test]
+fn budget_scans_agree_on_minimum() {
+    let (net, nodes) = ring_unidirectional(4);
+    let table = clockwise_ring(&net, &nodes).unwrap();
+    let specs = vec![
+        MessageSpec::new(nodes[0], nodes[3], 3),
+        MessageSpec::new(nodes[2], nodes[1], 3),
+    ];
+    let sim = Sim::new(&net, &table, specs, Some(1)).unwrap();
+    let (seq_min, _) = min_stall_budget(&sim, 3, 1_000_000);
+    let (par_min, par_trail) = min_stall_budget_parallel(&sim, 3, 1_000_000, 4);
+    assert_eq!(seq_min, par_min);
+    assert!(par_trail.iter().all(|r| r.metrics.threads == 4));
+}
