@@ -1,0 +1,32 @@
+//! Tiny command-line helpers shared by every `exp_*` binary.
+//!
+//! The experiment programs deliberately avoid an argument-parsing
+//! dependency: each flag is a plain `--name value` pair scanned from
+//! [`std::env::args`]. This module hosts the two scanners so the
+//! binaries stay consistent (same flag spelling, same fallback
+//! behaviour) without copy-pasted parsing loops.
+
+/// Returns the value following `flag` on the command line, if any.
+///
+/// `flag` must include the leading dashes (e.g. `"--trace"`). A flag
+/// given without a following value is treated as absent.
+pub fn value_of(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses `--threads N`, falling back to `default` when the flag is
+/// absent or unparsable.
+///
+/// By convention `0` means "one worker per core". Binaries whose
+/// historical behaviour is sequential (e.g. `exp_theorems`,
+/// `exp_multishare`) pass `default = 1` so their output is unchanged
+/// unless the flag is given explicitly.
+pub fn threads(default: usize) -> usize {
+    value_of("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -12,8 +12,10 @@
 //! the direction its conclusion marks as future work.
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_adaptive`
+//! (add `--trace <path>` to dump a wormtrace JSON report)
 
 use wormbench::report::{cell, header, row};
+use wormbench::trace;
 use wormcdg::adaptive::AdaptiveCdg;
 use wormnet::topology::Mesh;
 use wormroute::adaptive::{
@@ -94,6 +96,7 @@ fn analyze(name: &str, mesh: &Mesh, routing: AdaptiveRouting) {
 }
 
 fn main() {
+    let _trace = trace::init("exp_adaptive");
     println!("EXP-A1: adaptive routing — acyclic CDG not necessary (Duato)\n");
     header(&[
         ("algorithm (3x3 mesh)", 24),

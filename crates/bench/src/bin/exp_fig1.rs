@@ -7,14 +7,17 @@
 //! over buffer depth, message length, and duplicate message instances.
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_fig1`
+//! (add `--trace <path>` to dump a wormtrace JSON report)
 
 use worm_core::paper::fig1;
 use wormbench::report::{cell, header, row};
+use wormbench::trace;
 use wormcdg::deadlock_candidates;
 use wormsearch::{explore, min_stall_budget, render_witness, SearchConfig, Verdict};
 use wormsim::{MessageSpec, Sim};
 
 fn main() {
+    let _trace = trace::init("exp_fig1");
     let c = fig1::cyclic_dependency();
     let cdg = c.cdg();
     println!("EXP-F1: Figure 1 / Theorem 1 — Cyclic Dependency routing algorithm");

@@ -6,14 +6,17 @@
 //! — the content of Theorem 4.
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_fig2`
+//! (add `--trace <path>` to dump a wormtrace JSON report)
 
 use worm_core::family::{CycleMessageSpec, SharedCycleSpec};
 use worm_core::paper::fig2;
 use wormbench::report::{cell, header, row};
+use wormbench::trace;
 use wormsearch::{explore, render_witness, replay, SearchConfig, Verdict};
 use wormsim::Sim;
 
 fn main() {
+    let _trace = trace::init("exp_fig2");
     println!("EXP-F2: Figure 2 / Theorem 4 — two sharers outside the cycle");
     let c = fig2::two_message_deadlock();
     let sim = Sim::new(&c.net, &c.table, c.message_specs(), Some(1)).expect("routed");

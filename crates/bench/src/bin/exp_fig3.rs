@@ -6,27 +6,20 @@
 //! verdict, and the paper's verdict.
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_fig3`
-//! (add `--threads N` to pin the search worker count; default: all cores)
+//! (add `--threads N` to pin the search worker count; default: all
+//! cores, and `--trace <path>` to dump a wormtrace JSON report)
 
 use worm_core::conditions::eight_conditions;
 use worm_core::paper::fig3;
 use wormbench::report::{cell, header, row};
+use wormbench::{args, trace};
 use wormcdg::sharing;
 use wormsearch::{explore_parallel, SearchConfig};
 use wormsim::Sim;
 
-/// `--threads N` (0 = all cores, the default).
-fn thread_arg() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
-}
-
 fn main() {
-    let threads = thread_arg();
+    let _trace = trace::init("exp_fig3");
+    let threads = args::threads(0);
     println!("EXP-F3: Figure 3 / Theorem 5 — three messages sharing a channel\n");
     header(&[
         ("scenario", 8),

@@ -7,25 +7,18 @@
 //! occur".
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_generalized`
-//! (add `--threads N` to pin the search worker count; default: all cores)
+//! (add `--threads N` to pin the search worker count; default: all
+//! cores, and `--trace <path>` to dump a wormtrace JSON report)
 
 use worm_core::paper::generalized;
 use wormbench::report::{cell, header, row};
+use wormbench::{args, trace};
 use wormsearch::{explore, min_stall_budget_parallel, SearchConfig};
 use wormsim::Sim;
 
-/// `--threads N` (0 = all cores, the default).
-fn thread_arg() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
-}
-
 fn main() {
-    let threads = thread_arg();
+    let _trace = trace::init("exp_generalized");
+    let threads = args::threads(0);
     println!("EXP-G1: Section 6 — G(k) requires >= k extra delay for deadlock\n");
     header(&[
         ("k", 4),

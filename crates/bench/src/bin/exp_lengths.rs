@@ -14,10 +14,12 @@
 //! short. Figure 1, swept over the same lengths, never deadlocks.
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_lengths`
+//! (add `--trace <path>` to dump a wormtrace JSON report)
 
 use worm_core::family::{CycleMessageSpec, SharedCycleSpec};
 use worm_core::paper::fig1;
 use wormbench::report::{cell, header, row};
+use wormbench::trace;
 use wormsearch::{explore, SearchConfig};
 use wormsim::{MessageSpec, Sim};
 
@@ -53,6 +55,7 @@ fn verdict(c: &worm_core::family::CycleConstruction, lengths: &[usize]) -> (&'st
 }
 
 fn main() {
+    let _trace = trace::init("exp_lengths");
     println!("EXP-FF: length-dependent deadlock freedom (Section 1's F&F critique)\n");
 
     println!("boundary three-sharer instance, sweeping M_y's length:");

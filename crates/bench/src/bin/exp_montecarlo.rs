@@ -14,10 +14,12 @@
 //! rate).
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_montecarlo`
+//! (add `--trace <path>` to dump a wormtrace JSON report)
 
 use rand::{RngExt, SeedableRng};
 use worm_core::paper::{fig1, fig2, fig3, generalized};
 use wormbench::report::{cell, header, row};
+use wormbench::trace;
 use wormsim::runner::{ArbitrationPolicy, Outcome, Runner};
 use wormsim::{MessageSpec, Sim};
 
@@ -56,6 +58,7 @@ fn deadlock_rate(
 }
 
 fn main() {
+    let _trace = trace::init("exp_montecarlo");
     println!(
         "EXP-MC: Monte Carlo deadlock probability ({RUNS} runs, random inject times in 0..{HORIZON})\n"
     );

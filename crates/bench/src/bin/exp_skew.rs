@@ -9,15 +9,18 @@
 //! adversarial arbitration policy.
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_skew`
+//! (add `--trace <path>` to dump a wormtrace JSON report)
 
 use rand::SeedableRng;
 use worm_core::paper::{fig1, generalized};
 use wormbench::report::{cell, header, row};
+use wormbench::trace;
 use wormsim::runner::{ArbitrationPolicy, Outcome, Runner};
 use wormsim::skew::SkewModel;
 use wormsim::Sim;
 
 fn main() {
+    let _trace = trace::init("exp_skew");
     println!("EXP-G2: Figure 1 / G(k) under randomized per-router clock skew\n");
     header(&[
         ("network", 9),

@@ -16,11 +16,15 @@
 //!   only deadlock-free *cyclic* one.
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_theorems`
+//! (add `--threads N` to run the classifier's search fallback on the
+//! parallel engine — default 1, sequential; 0 = all cores — and
+//! `--trace <path>` to dump a wormtrace JSON report)
 
 use rand::SeedableRng;
 use worm_core::classify::{classify_algorithm, AlgorithmVerdict, ClassifyOptions};
 use worm_core::family::{CycleMessageSpec, SharedCycleSpec};
 use wormbench::report::{cell, header, row};
+use wormbench::{args, trace};
 use wormcdg::Cdg;
 use wormnet::topology::{ring_unidirectional, ring_with_vcs, Hypercube, Mesh, Torus};
 use wormroute::algorithms::{
@@ -39,7 +43,11 @@ fn verdict_name(v: &AlgorithmVerdict) -> &'static str {
 }
 
 fn main() {
-    let opts = ClassifyOptions::default();
+    let _trace = trace::init("exp_theorems");
+    let opts = ClassifyOptions {
+        search_threads: args::threads(1),
+        ..ClassifyOptions::default()
+    };
 
     println!("EXP-T25 (1/4): baseline deadlock-free algorithms (Dally-Seitz)\n");
     header(&[

@@ -2,5 +2,17 @@
 //! library itself only hosts shared experiment helpers; see
 //! `src/bin/` for the per-figure experiment programs and `benches/`
 //! for the Criterion suites.
+//!
+//! Shared helpers:
+//!
+//! * [`report`] — fixed-width table formatting for experiment output;
+//! * [`args`] — the `--threads` / flag-value scanners every binary
+//!   uses;
+//! * [`trace`] — the `--trace <path>` machine-readable trace dump
+//!   (see `docs/TRACING.md` for the JSON schema).
 
+#![deny(missing_docs)]
+
+pub mod args;
 pub mod report;
+pub mod trace;

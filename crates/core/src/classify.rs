@@ -182,8 +182,46 @@ impl ClassifyOptions {
     }
 }
 
+/// Publish classification provenance into the global [`wormtrace`]
+/// recorder (`classify.*` counters, see `docs/TRACING.md`): which
+/// theorem decided the candidate, or whether the search fallback —
+/// the theorems' blind spot — had to run.
+fn record_provenance(verdict: &CandidateVerdict) {
+    if !wormtrace::enabled() {
+        return;
+    }
+    wormtrace::counter("classify.candidates", 1);
+    let name = match &verdict.class {
+        CycleClass::NoOutsideSharing => "classify.theorem2",
+        CycleClass::MinimalAllShare => "classify.theorem3",
+        CycleClass::TwoSharers => "classify.theorem4",
+        CycleClass::ThreeSharers(_) => "classify.theorem5",
+        CycleClass::DecidedBySearch { .. } => "classify.search_decided",
+        CycleClass::Unknown => "classify.unknown",
+    };
+    wormtrace::counter(name, 1);
+    if verdict.reachable == Some(true) {
+        wormtrace::counter("classify.reachable", 1);
+    } else if verdict.reachable == Some(false) {
+        wormtrace::counter("classify.unreachable", 1);
+    }
+}
+
 /// Classify one candidate configuration of one cycle.
 pub fn classify_candidate(
+    net: &Network,
+    table: &TableRouting,
+    cycle: &CdgCycle,
+    candidate: DeadlockCandidate,
+    minimal: bool,
+    opts: &ClassifyOptions,
+) -> CandidateVerdict {
+    let verdict = classify_candidate_inner(net, table, cycle, candidate, minimal, opts);
+    record_provenance(&verdict);
+    verdict
+}
+
+fn classify_candidate_inner(
     net: &Network,
     table: &TableRouting,
     cycle: &CdgCycle,
@@ -196,6 +234,7 @@ pub fn classify_candidate(
     let confirm = |candidate: DeadlockCandidate, class: CycleClass| -> CandidateVerdict {
         if opts.verify_theorems_with_search {
             if let Some(false) = search_candidate(net, table, &candidate, opts) {
+                wormtrace::counter("classify.theorem_downgraded", 1);
                 return CandidateVerdict {
                     candidate,
                     class: CycleClass::DecidedBySearch {
@@ -258,6 +297,7 @@ pub fn classify_candidate(
     // their adversarial minimum lengths (just long enough to hold
     // their segments — Section 3's worst case).
     if opts.use_search {
+        wormtrace::counter("classify.search_fallback", 1);
         let reachable = search_candidate(net, table, &candidate, opts);
         let class = match reachable {
             Some(r) => CycleClass::DecidedBySearch {
@@ -391,8 +431,11 @@ pub fn classify_algorithm(
     table: &TableRouting,
     opts: &ClassifyOptions,
 ) -> AlgorithmVerdict {
+    let _span = wormtrace::span("classify.algorithm");
+    wormtrace::counter("classify.algorithms", 1);
     let cdg = Cdg::build(net, table);
     if let Some(numbering) = cdg.numbering() {
+        wormtrace::counter("classify.acyclic", 1);
         return AlgorithmVerdict::DeadlockFreeAcyclic { numbering };
     }
     let Some(cycles) = cdg.cycles_bounded(opts.max_cycles) else {

@@ -80,6 +80,7 @@ pub fn explore_adaptive(sim: &AdaptiveSim, max_states: usize) -> AdaptiveSearchR
     let finish = |metrics: &mut SearchMetrics, verdict: AdaptiveVerdict, states: usize| {
         metrics.elapsed = start.elapsed();
         metrics.finish(states);
+        metrics.publish("search.explore", states);
         AdaptiveSearchResult {
             verdict,
             states_explored: states,
@@ -202,7 +203,7 @@ impl Space for AdaptiveSpace<'_> {
 }
 
 /// [`explore_adaptive`] on the parallel work-stealing engine
-/// ([`crate::parallel`]): identical verdicts for every thread count, a
+/// ([`crate::explore_parallel`]): identical verdicts for every thread count, a
 /// shortest witness, and populated [`SearchMetrics`].
 ///
 /// `threads = 0` uses all available cores.

@@ -76,6 +76,7 @@ pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
     let finish = |metrics: &mut SearchMetrics, verdict: Verdict, states: usize| {
         metrics.elapsed = start.elapsed();
         metrics.finish(states);
+        metrics.publish("search.explore", states);
         SearchResult::new(verdict, states).with_metrics(metrics.clone())
     };
 

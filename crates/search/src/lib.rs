@@ -43,7 +43,13 @@
 //!
 //! Every result carries [`SearchMetrics`] — states/second, frontier
 //! peak, dedup hit-rate, per-worker steal counts — printed by the
-//! `exp_*` binaries via [`SearchMetrics::summary`].
+//! `exp_*` binaries via [`SearchMetrics::summary`]. The same numbers
+//! are published as structured `search.*` counters and spans through
+//! the re-exported [`wormtrace`] instrumentation layer (see
+//! `docs/TRACING.md`); `SearchMetrics` is the in-process
+//! compatibility view over those counters, and installing a
+//! [`wormtrace::Recorder`] (e.g. with an `exp_*` binary's
+//! `--trace <path>` flag) captures them machine-readably instead.
 //!
 //! Searches that exceed [`SearchConfig::max_states`] return
 //! [`Verdict::Inconclusive`] carrying the number of states visited;
@@ -68,7 +74,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod explore;
 mod parallel;
@@ -82,3 +88,4 @@ pub use explore::{
 };
 pub use parallel::explore_parallel;
 pub use verdict::{SearchMetrics, SearchResult, Verdict, Witness};
+pub use wormtrace;

@@ -140,6 +140,7 @@ pub(crate) fn search_parallel<S: Space>(
             ..SearchMetrics::default()
         };
         metrics.finish(1);
+        metrics.publish("search.parallel", 1);
         return ParallelOutcome {
             verdict: ParallelVerdict::Deadlock(Vec::new()),
             states: 1,
@@ -307,6 +308,7 @@ pub(crate) fn search_parallel<S: Space>(
         ..SearchMetrics::default()
     };
     metrics.finish(states);
+    metrics.publish("search.parallel", states);
 
     let verdict = match stop.load(Ordering::SeqCst) {
         DEADLOCK => {

@@ -64,6 +64,15 @@ impl Verdict {
 /// Filled by every engine; the parallel engine additionally reports
 /// per-worker steal counts and the layer count of its breadth-first
 /// sweep.
+///
+/// This struct is the *compatibility view* of the search counters:
+/// the same numbers are published into the global [`wormtrace`]
+/// recorder (metric names `search.*`, see `docs/TRACING.md`) by
+/// [`SearchMetrics::publish`], which every engine calls when it
+/// finishes. Code that already consumes `result.metrics` keeps
+/// working unchanged; tooling that wants machine-readable output
+/// installs a [`wormtrace::Recorder`] (e.g. via the `exp_*` binaries'
+/// `--trace` flag) and reads the counters instead.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SearchMetrics {
     /// Wall-clock duration of the exploration.
@@ -108,6 +117,31 @@ impl SearchMetrics {
         } else {
             0.0
         };
+    }
+
+    /// Publish these metrics into the globally installed
+    /// [`wormtrace`] recorder under the `search.*` names, recording
+    /// the whole exploration as one observation of the span
+    /// `engine_span` (`"search.explore"` or `"search.parallel"` — the
+    /// span's observation count is the per-engine search count).
+    ///
+    /// Every engine calls this on completion; with no recorder
+    /// installed it is a single relaxed atomic load. `states` is the
+    /// number of distinct states the search visited.
+    pub fn publish(&self, engine_span: &'static str, states: usize) {
+        if !wormtrace::enabled() {
+            return;
+        }
+        wormtrace::counter("search.searches", 1);
+        wormtrace::counter("search.states", states as u64);
+        wormtrace::counter("search.dedup_hits", self.dedup_hits);
+        wormtrace::counter("search.dedup_lookups", self.dedup_lookups);
+        wormtrace::counter("search.steals", self.total_steals());
+        wormtrace::counter("search.layers", self.layers as u64);
+        wormtrace::gauge_max("search.frontier_peak", self.frontier_peak as f64);
+        wormtrace::gauge_max("search.states_per_sec", self.states_per_sec);
+        wormtrace::gauge("search.threads", self.threads as f64);
+        wormtrace::span_elapsed(engine_span, self.elapsed);
     }
 
     /// One-line human-readable summary (used by the `exp_*` binaries).

@@ -269,6 +269,19 @@ impl Sim {
             }
             self.advance_message(state, m, grants.get(&m).copied(), &frozen_mask, &mut report);
         }
+
+        // Structured instrumentation (docs/TRACING.md, `sim.*`): one
+        // relaxed atomic load when tracing is off, so the search hot
+        // path — which calls `step` once per explored edge — pays
+        // nothing measurable.
+        if wormtrace::enabled() {
+            wormtrace::counter("sim.cycles", 1);
+            wormtrace::counter("sim.flits_moved", report.flits_moved as u64);
+            wormtrace::counter("sim.delivered", report.delivered.len() as u64);
+            wormtrace::counter("sim.stall_injections", decisions.stalls.len() as u64);
+            let conflicts = requests.values().filter(|reqs| reqs.len() >= 2).count();
+            wormtrace::counter("sim.arb_conflicts", conflicts as u64);
+        }
         report
     }
 

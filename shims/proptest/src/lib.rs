@@ -206,7 +206,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+    /// Uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
     pub struct OneOf<V> {
         options: Vec<Box<dyn Strategy<Value = V>>>,
     }
@@ -320,7 +320,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Acceptable size specifications for [`vec`].
+        /// Acceptable size specifications for [`vec()`].
         pub struct SizeRange {
             lo: usize,
             hi_exclusive: usize,

@@ -4,7 +4,7 @@
 //! provides the (small, deterministic) subset of the `rand` 0.10 API
 //! the workspace actually uses: [`rngs::StdRng`] seeded via
 //! [`SeedableRng::seed_from_u64`], uniform sampling through
-//! [`Rng::random_range`] / [`Rng::random`], and in-place shuffling via
+//! [`RngExt::random_range`] / [`RngExt::random`], and in-place shuffling via
 //! [`seq::SliceRandom`]. The generator is SplitMix64 — statistically
 //! fine for simulations and property tests, **not** cryptographic.
 //!
@@ -124,7 +124,7 @@ fn unit_from_bits(bits: u64) -> f64 {
     (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-/// Primitive types [`Rng::random`] can produce.
+/// Primitive types [`RngExt::random`] can produce.
 pub trait Random {
     /// Uniformly random value.
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;

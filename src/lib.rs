@@ -12,6 +12,7 @@
 //! | dynamics | [`sim`] (`wormsim`) | flit-level wormhole simulator (atomic buffer allocation, arbitration policies, adversarial stalls, wait-for-graph deadlock detection) |
 //! | verification | [`search`] (`wormsearch`) | exhaustive reachability search over injection orders, arbitration outcomes and stall budgets; adaptive route-choice explorer |
 //! | paper | [`core`] (`worm-core`) | the Cyclic Dependency algorithm (Figure 1), Figures 2–3, the Section 6 family `G(k)`, Theorem 5's conditions, the classification pipeline, the `validate` claims runner |
+//! | observability | [`trace`] (`wormtrace`) | zero-dependency counters / gauges / spans behind a global [`trace::Recorder`]; JSON trace reports (`docs/TRACING.md`) |
 //!
 //! Extensions beyond the paper's base model, each validated in
 //! `EXPERIMENTS.md`: per-router clock skew (`sim::skew`), adaptive
@@ -37,10 +38,77 @@
 //! assert!(result.verdict.is_free(), "...yet no schedule deadlocks");
 //! ```
 //!
-//! See `examples/` for runnable walkthroughs and `crates/bench` for
+//! ## Walkthrough: mesh → routing → certificate → traffic
+//!
+//! The classic pipeline the paper generalizes, end to end. First,
+//! build a topology and route it with dimension-order (XY) routing —
+//! the textbook deadlock-free oblivious algorithm:
+//!
+//! ```
+//! use cyclic_wormhole::net::topology::Mesh;
+//! use cyclic_wormhole::route::{algorithms::xy_mesh, properties};
+//!
+//! // A 4x4 mesh with bidirectional links.
+//! let mesh = Mesh::new(&[4, 4]);
+//! let net = mesh.network();
+//! assert_eq!(net.node_count(), 16);
+//! assert!(net.is_strongly_connected());
+//!
+//! let table = xy_mesh(&mesh).expect("XY routes every pair");
+//! let report = properties::analyze(net, &table);
+//! assert!(report.total && report.minimal && report.coherent);
+//! ```
+//!
+//! Deadlock freedom the classic way (Dally–Seitz): the channel
+//! dependency graph is acyclic, and the topological `numbering` is
+//! the certificate:
+//!
+//! ```
+//! use cyclic_wormhole::cdg::Cdg;
+//! use cyclic_wormhole::net::topology::Mesh;
+//! use cyclic_wormhole::route::algorithms::xy_mesh;
+//!
+//! let mesh = Mesh::new(&[4, 4]);
+//! let table = xy_mesh(&mesh).unwrap();
+//! let cdg = Cdg::build(mesh.network(), &table);
+//! assert!(cdg.is_acyclic());
+//! assert!(cdg.numbering().is_some(), "Dally–Seitz certificate exists");
+//! ```
+//!
+//! Finally, drive uniform random traffic through the flit-level
+//! simulator and read the delivery statistics:
+//!
+//! ```
+//! use cyclic_wormhole::net::topology::Mesh;
+//! use cyclic_wormhole::route::algorithms::xy_mesh;
+//! use cyclic_wormhole::sim::runner::{ArbitrationPolicy, Outcome, Runner};
+//! use cyclic_wormhole::sim::{traffic, Sim};
+//! use rand::SeedableRng;
+//!
+//! let mesh = Mesh::new(&[4, 4]);
+//! let net = mesh.network();
+//! let table = xy_mesh(&mesh).unwrap();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let specs = traffic::uniform_random(net, &table, &mut rng, 0.05, 200, (4, 8));
+//! let sim = Sim::new(net, &table, specs, None).expect("specs are routed");
+//! let mut runner = Runner::new(&sim, ArbitrationPolicy::OldestFirst);
+//! let outcome = runner.run(100_000);
+//!
+//! // XY routing cannot deadlock: every message is delivered.
+//! assert!(matches!(outcome, Outcome::Delivered { .. }));
+//! let stats = runner.stats();
+//! assert!(stats.delivered_count() > 0);
+//! assert!(stats.mean_latency().unwrap() >= 1.0);
+//! assert!(stats.throughput() > 0.0);
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs (deadlock galleries,
+//! skew tolerance, adaptive escape channels) and `crates/bench` for
 //! the experiment programs that regenerate every figure of the paper.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use worm_core as core;
 pub use wormcdg as cdg;
@@ -48,3 +116,4 @@ pub use wormnet as net;
 pub use wormroute as route;
 pub use wormsearch as search;
 pub use wormsim as sim;
+pub use wormtrace as trace;
