@@ -57,6 +57,7 @@ fn bench_stall_budget(c: &mut Criterion) {
                     &SearchConfig {
                         stall_budget: budget,
                         max_states: 5_000_000,
+                        dead_channels: Vec::new(),
                     },
                 )
             });

@@ -77,6 +77,7 @@ fn bench_theorem5_instance(c: &mut Criterion) {
     let config = SearchConfig {
         stall_budget: 3,
         max_states: 8_000_000,
+        dead_channels: Vec::new(),
     };
     bench_instance(c, "search_parallel_theorem5", &sim, &config);
 }
@@ -95,6 +96,7 @@ fn bench_generalized_instance(c: &mut Criterion) {
     let config = SearchConfig {
         stall_budget: 3,
         max_states: 8_000_000,
+        dead_channels: Vec::new(),
     };
     bench_instance(c, "search_parallel_g3", &sim, &config);
 }

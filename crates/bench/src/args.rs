@@ -30,3 +30,19 @@ pub fn threads(default: usize) -> usize {
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
+
+/// Parses `--seed N`, falling back to `default` when the flag is
+/// absent or unparsable. Accepts decimal (`49374`) and `0x`-prefixed
+/// hexadecimal (`0xC0FFEE`) spellings, so seeds can be quoted exactly
+/// as EXPERIMENTS.md prints them.
+pub fn seed(default: u64) -> u64 {
+    value_of("--seed")
+        .and_then(|v| {
+            let v = v.trim();
+            match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            }
+        })
+        .unwrap_or(default)
+}

@@ -85,6 +85,7 @@ fn main() {
                 &SearchConfig {
                     stall_budget: 0,
                     max_states: 20_000_000,
+                    dead_channels: Vec::new(),
                 },
             );
             row(&[

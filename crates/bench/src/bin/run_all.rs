@@ -13,11 +13,12 @@ use std::process::Command;
 
 use wormbench::args;
 
-const EXPERIMENTS: [&str; 10] = [
+const EXPERIMENTS: [&str; 11] = [
     "exp_fig1",
     "exp_adaptive",
     "exp_fig2",
     "exp_fig3",
+    "exp_faults",
     "exp_lengths",
     "exp_generalized",
     "exp_montecarlo",

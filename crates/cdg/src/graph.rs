@@ -110,6 +110,45 @@ impl Cdg {
         )
     }
 
+    /// The CDG after the `down` channels fail: every edge incident to
+    /// a down channel is removed (a dead queue can neither be held nor
+    /// waited for, so it induces no dependencies), along with any
+    /// witness messages whose path traverses a down channel.
+    ///
+    /// This is the *structural* degradation view used by the fault
+    /// layer's graceful-degradation reports. It is deliberately more
+    /// conservative than rebuilding from
+    /// `TableRouting::without_channels` (which also erases the
+    /// surviving-channel dependencies of messages that became
+    /// unroutable): masking answers "which dependencies could still be
+    /// exercised at all", the rebuild answers "which dependencies the
+    /// degraded traffic actually induces". The masked CDG is therefore
+    /// always a supergraph of the rebuilt one.
+    pub fn masked(&self, down: &[ChannelId]) -> Cdg {
+        if down.is_empty() {
+            return self.clone();
+        }
+        let edges: BTreeMap<(ChannelId, ChannelId), Vec<MsgPair>> = self
+            .edges
+            .iter()
+            .filter(|((c1, c2), _)| !down.contains(c1) && !down.contains(c2))
+            .map(|(&key, wit)| (key, wit.clone()))
+            .collect();
+        let mut adj = vec![Vec::new(); self.channel_count];
+        for &(c1, c2) in edges.keys() {
+            adj[c1.index()].push(c2.index());
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        Cdg {
+            channel_count: self.channel_count,
+            edges,
+            adj,
+        }
+    }
+
     /// Graphviz DOT rendering of the dependency graph: vertices are
     /// channels, edges are dependencies; `highlight` channels (e.g. a
     /// cycle) are drawn red.
@@ -403,6 +442,33 @@ mod tests {
         assert!(d.contains("=>"));
         let cycle_desc = cdg.cycles()[0].describe(&net);
         assert!(cycle_desc.contains("->"));
+    }
+
+    #[test]
+    fn masking_a_cycle_channel_breaks_the_cycle() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let cdg = Cdg::build(&net, &table);
+        assert!(!cdg.is_acyclic());
+        let c01 = net.find_channel(nodes[0], nodes[1]).unwrap();
+        let masked = cdg.masked(&[c01]);
+        // Both edges incident to c01 disappear; the ring cycle opens.
+        assert_eq!(masked.edge_count(), cdg.edge_count() - 2);
+        assert!(masked.is_acyclic());
+        assert!(masked.cycles().is_empty());
+        assert_eq!(masked.channel_count(), cdg.channel_count());
+        // Masking nothing is the identity (same edges and witnesses).
+        let same = cdg.masked(&[]);
+        assert_eq!(same.edge_count(), cdg.edge_count());
+
+        // Masked CDG is a supergraph of the honest rebuild from the
+        // degraded table (which also loses the surviving dependencies
+        // of now-unroutable messages).
+        let rebuilt = Cdg::build(&net, &table.without_channels(&[c01]));
+        for (&(a, b), _) in rebuilt.edges() {
+            assert!(masked.has_edge(a, b), "rebuilt edge missing from mask");
+        }
+        assert!(rebuilt.edge_count() <= masked.edge_count());
     }
 
     #[test]

@@ -337,6 +337,7 @@ fn search_candidate(
     let config = SearchConfig {
         stall_budget: 0,
         max_states: opts.search_max_states,
+        dead_channels: Vec::new(),
     };
     let result = if opts.search_threads == 1 {
         explore(&sim, &config)
@@ -382,6 +383,7 @@ pub fn candidate_reachable(
         &SearchConfig {
             stall_budget: 0,
             max_states: opts.search_max_states,
+            dead_channels: Vec::new(),
         },
         move |_, state| {
             segments.iter().all(|(m, chans)| {

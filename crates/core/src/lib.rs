@@ -23,6 +23,9 @@
 //!   deadlock candidates → shared-channel analysis → Theorems 2–5 →
 //!   exhaustive-search fallback; producing a per-cycle and whole-
 //!   algorithm deadlock verdict with provenance.
+//! * [`degraded`] — the same pipeline re-run on a degraded topology
+//!   (failed channels drop the pairs routed through them), reporting
+//!   whether the healthy verdict survives the fault.
 
 //! ```
 //! use worm_core::classify::{classify_algorithm, AlgorithmVerdict, ClassifyOptions};
@@ -41,6 +44,7 @@
 
 pub mod classify;
 pub mod conditions;
+pub mod degraded;
 pub mod family;
 pub mod paper;
 pub mod validate;
@@ -49,4 +53,5 @@ pub use classify::{
     candidate_reachable, classify_algorithm, classify_cycle, AlgorithmVerdict, CycleClass,
     CycleVerdict,
 };
+pub use degraded::{classify_degraded, DegradedClassification};
 pub use family::{CycleConstruction, CycleMessageSpec, SharedCycleSpec};

@@ -1,0 +1,283 @@
+//! The fault injector: a [`DecisionHook`] that applies a
+//! [`FaultPlan`] to a running simulation.
+//!
+//! All fault mechanics reduce to the engine's existing decision
+//! vocabulary — no engine changes, no special-cased fault state:
+//!
+//! * channel outages and router stalls extend
+//!   [`wormsim::Decisions::frozen`] (a frozen channel neither
+//!   transmits nor accepts flits nor can be acquired — exactly the
+//!   semantics a dead link needs);
+//! * flit drops extend [`wormsim::Decisions::stalls`] by one cycle
+//!   (wormhole flow control is lossless, so a dropped flit costs a
+//!   retransmission cycle, not data);
+//! * injection jitter and retry backoff prune
+//!   [`wormsim::Decisions::inject`].
+//!
+//! Because the hook runs *before* arbitration, a fault can never
+//! strand a stale arbitration winner — the engine re-derives requests
+//! from the adjusted sets.
+//!
+//! `fault.*` trace counters are emitted **only** when a fault
+//! actually fires or an active retry policy acts; an injector with an
+//! empty plan and the default [`RetryPolicy::Passive`] is
+//! observationally silent, keeping the zero-fault run bit-identical
+//! to the fault-free engine down to its trace report.
+
+use std::collections::BTreeSet;
+
+use wormnet::{ChannelId, ChannelLiveness, Network};
+use wormsim::hooks::DecisionHook;
+use wormsim::{Decisions, MessageId, Sim, SimState, StepReport};
+
+use crate::plan::{FaultEvent, FaultPlan};
+
+/// How the injection side reacts when a message cannot start (its
+/// entry channel is down, frozen, or occupied).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// Retry every cycle, forever, with no bookkeeping — the
+    /// baseline engine's behaviour. An injector with an empty plan
+    /// and this policy is bit-identical to no injector at all.
+    #[default]
+    Passive,
+    /// Count failed injection attempts per message; between attempts
+    /// back off exponentially (`backoff` cycles, doubling each
+    /// failure), and after `max_attempts` failures **abandon** the
+    /// message: it never injects, and a run where every survivor is
+    /// delivered counts as partial success rather than a timeout.
+    Active {
+        /// Failed attempts before the message is abandoned.
+        max_attempts: u32,
+        /// Initial backoff in cycles; doubles after each failure.
+        backoff: u64,
+    },
+}
+
+/// Aggregate fault activity of one run (see
+/// [`FaultInjector::report`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Channel-down events applied.
+    pub channel_downs: u64,
+    /// Channel-up (recovery) events applied.
+    pub channel_ups: u64,
+    /// Cycle-slots lost to router stalls (windows × widths, clipped
+    /// to the run length).
+    pub router_stall_cycles: u64,
+    /// Flit drops applied (each cost one retransmission cycle).
+    pub flit_drops: u64,
+    /// Messages flagged as carrying corrupted payload.
+    pub corrupted: Vec<MessageId>,
+    /// Injection slots suppressed by jitter.
+    pub jitter_cycles: u64,
+    /// Failed injection attempts counted by an active retry policy.
+    pub failed_attempts: u64,
+    /// Messages abandoned by an active retry policy.
+    pub abandoned: Vec<MessageId>,
+}
+
+/// Applies a [`FaultPlan`] to a simulation through the decision-hook
+/// seam. Construct one per run ([`FaultInjector::new`]), drive it via
+/// [`wormsim::runner::Runner::run_hooked`] or
+/// [`crate::FaultRunner`].
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    liveness: ChannelLiveness,
+    /// Router-stall windows, precomputed to hosted-channel lists:
+    /// `(from, until, channels)`.
+    stall_windows: Vec<(u64, u64, Vec<ChannelId>)>,
+    /// Per-message failed-attempt counts (active policy).
+    attempts: Vec<u32>,
+    /// Earliest cycle each message may retry injection.
+    next_retry_at: Vec<u64>,
+    abandoned: BTreeSet<MessageId>,
+    corrupted: BTreeSet<MessageId>,
+    /// Messages we allowed to attempt injection this cycle, checked
+    /// for success in `observe`.
+    attempted: Vec<MessageId>,
+    report: FaultReport,
+}
+
+impl FaultInjector {
+    /// Build an injector for `plan` over `net`, driving a simulation
+    /// with `messages` messages.
+    pub fn new(net: &Network, plan: FaultPlan, policy: RetryPolicy, messages: usize) -> Self {
+        let stall_windows = plan
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::RouterStall { node, from, cycles } => {
+                    Some((*from, from + cycles, net.in_channels(*node).to_vec()))
+                }
+                _ => None,
+            })
+            .collect();
+        FaultInjector {
+            plan,
+            policy,
+            liveness: ChannelLiveness::all_up(net.channel_count()),
+            stall_windows,
+            attempts: vec![0; messages],
+            next_retry_at: vec![0; messages],
+            abandoned: BTreeSet::new(),
+            corrupted: BTreeSet::new(),
+            attempted: Vec::new(),
+            report: FaultReport::default(),
+        }
+    }
+
+    /// The plan being applied.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Current channel up/down overlay.
+    pub fn liveness(&self) -> &ChannelLiveness {
+        &self.liveness
+    }
+
+    /// Whether this injector can have **no** observable effect: an
+    /// empty plan under the passive retry policy. A transparent
+    /// injector leaves the run bit-identical to the fault-free
+    /// engine, including trace output (no `fault.*` counters, no
+    /// `fault.plan` span).
+    pub fn is_transparent(&self) -> bool {
+        self.plan.is_empty() && self.policy == RetryPolicy::Passive
+    }
+
+    /// Whether `msg` was abandoned by the retry policy.
+    pub fn is_abandoned(&self, msg: MessageId) -> bool {
+        self.abandoned.contains(&msg)
+    }
+
+    /// Whether `msg` was flagged as corrupted.
+    pub fn is_corrupted(&self, msg: MessageId) -> bool {
+        self.corrupted.contains(&msg)
+    }
+
+    /// Aggregate fault activity so far.
+    pub fn report(&self) -> FaultReport {
+        let mut r = self.report.clone();
+        r.corrupted = self.corrupted.iter().copied().collect();
+        r.abandoned = self.abandoned.iter().copied().collect();
+        r
+    }
+
+    fn in_flight(sim: &Sim, state: &SimState, m: MessageId) -> bool {
+        state.is_started(m) && !state.is_delivered(m, sim.length(m))
+    }
+}
+
+impl DecisionHook for FaultInjector {
+    fn adjust(&mut self, sim: &Sim, state: &SimState, time: u64, decisions: &mut Decisions) {
+        // 1. Channel up/down events scheduled for this cycle flip the
+        //    liveness overlay.
+        for event in self.plan.events() {
+            match *event {
+                FaultEvent::ChannelDown { channel, at } if at == time => {
+                    self.liveness.set_down(channel);
+                    self.report.channel_downs += 1;
+                    wormtrace::counter("fault.channel_down", 1);
+                }
+                FaultEvent::ChannelUp { channel, at } if at == time => {
+                    self.liveness.set_up(channel);
+                    self.report.channel_ups += 1;
+                    wormtrace::counter("fault.channel_up", 1);
+                }
+                _ => {}
+            }
+        }
+
+        // 2. Down channels and stalled routers freeze their queues.
+        if !self.liveness.all_channels_up() {
+            decisions.frozen.extend(self.liveness.down_channels());
+        }
+        for (from, until, channels) in &self.stall_windows {
+            if (*from..*until).contains(&time) {
+                decisions.frozen.extend(channels.iter().copied());
+                self.report.router_stall_cycles += 1;
+                wormtrace::counter("fault.router_stall_cycles", 1);
+            }
+        }
+
+        // 3. Flit drops stall the victim one cycle; corruption only
+        //    flags it.
+        for event in self.plan.events() {
+            match *event {
+                FaultEvent::FlitDrop { msg, at }
+                    if at == time
+                        && Self::in_flight(sim, state, msg)
+                        && !decisions.stalls.contains(&msg) =>
+                {
+                    decisions.stalls.push(msg);
+                    self.report.flit_drops += 1;
+                    wormtrace::counter("fault.flit_drops", 1);
+                }
+                FaultEvent::FlitCorrupt { msg, at }
+                    if at == time
+                        && Self::in_flight(sim, state, msg)
+                        && !self.corrupted.contains(&msg) =>
+                {
+                    self.corrupted.insert(msg);
+                    wormtrace::counter("fault.flit_corrupts", 1);
+                }
+                _ => {}
+            }
+        }
+
+        // 4. Injection jitter holds messages back past their spec
+        //    time.
+        for event in self.plan.events() {
+            if let FaultEvent::InjectDelay { msg, delay } = *event {
+                let release = sim.spec(msg).inject_at + delay;
+                if time < release && decisions.inject.contains(&msg) {
+                    decisions.inject.retain(|&m| m != msg);
+                    self.report.jitter_cycles += 1;
+                    wormtrace::counter("fault.jitter_cycles", 1);
+                }
+            }
+        }
+
+        // 5. Retry policy: abandoned messages never inject; backed-off
+        //    messages wait out their window. `attempted` records who
+        //    is left so `observe` can score the attempt.
+        if let RetryPolicy::Active { .. } = self.policy {
+            let (abandoned, next_retry) = (&self.abandoned, &self.next_retry_at);
+            decisions
+                .inject
+                .retain(|&m| !abandoned.contains(&m) && next_retry[m.index()] <= time);
+            self.attempted = decisions.inject.clone();
+        }
+    }
+
+    fn observe(&mut self, _sim: &Sim, state: &SimState, time: u64, _report: &StepReport) {
+        let RetryPolicy::Active {
+            max_attempts,
+            backoff,
+        } = self.policy
+        else {
+            return;
+        };
+        for &m in &std::mem::take(&mut self.attempted) {
+            if state.is_started(m) {
+                continue; // injection succeeded
+            }
+            self.attempts[m.index()] += 1;
+            self.report.failed_attempts += 1;
+            wormtrace::counter("fault.inject_failed", 1);
+            if self.attempts[m.index()] >= max_attempts {
+                if self.abandoned.insert(m) {
+                    wormtrace::counter("fault.msg_abandoned", 1);
+                }
+            } else {
+                // Exponential backoff, exponent capped to keep the
+                // shift defined.
+                let exp = (self.attempts[m.index()] - 1).min(16);
+                self.next_retry_at[m.index()] = time + 1 + (backoff << exp);
+            }
+        }
+    }
+}

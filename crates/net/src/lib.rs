@@ -21,6 +21,10 @@
 //! * [`topology`] — builders for the standard topologies used by the
 //!   baseline routing algorithms (ring, line, k-ary n-dimensional mesh,
 //!   torus, hypercube, star, complete graph).
+//! * [`ChannelLiveness`] — a dynamic up/down overlay over a network's
+//!   channels. The `Network` itself is immutable after construction
+//!   (stable dense ids), so link failures are an overlay, not a graph
+//!   mutation; the fault-injection layer drives it.
 //! * [`graph`] — self-contained graph algorithms shared by the network
 //!   and by the channel-dependency-graph analysis: Tarjan SCC, Johnson
 //!   elementary-cycle enumeration, BFS shortest paths, reachability and
@@ -48,6 +52,7 @@
 mod channel;
 mod dot;
 mod error;
+mod liveness;
 mod network;
 mod node;
 
@@ -57,5 +62,6 @@ pub mod topology;
 pub use channel::{Channel, ChannelId};
 pub use dot::network_to_dot;
 pub use error::NetError;
+pub use liveness::ChannelLiveness;
 pub use network::Network;
 pub use node::NodeId;

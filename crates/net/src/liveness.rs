@@ -1,0 +1,120 @@
+//! Dynamic channel-liveness overlay.
+//!
+//! A [`crate::Network`] is immutable after construction (dense, stable
+//! [`ChannelId`]s are what every other crate indexes by), so link
+//! failures are modelled as an *overlay*: a [`ChannelLiveness`] bitmap
+//! tracks which channels are currently up without touching the graph.
+//! Fault-injection (the `wormfault` crate) mutates the overlay as its
+//! plan's down/up events fire; analysis code asks for the current
+//! [`ChannelLiveness::down_channels`] set to mask dependency edges or
+//! freeze queues.
+
+use crate::channel::ChannelId;
+use crate::network::Network;
+
+/// Which channels of a network are currently alive.
+///
+/// Freshly constructed overlays report every channel up; `set_down` /
+/// `set_up` are idempotent so replaying a fault plan's events in order
+/// is safe even when events repeat.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelLiveness {
+    up: Vec<bool>,
+}
+
+impl ChannelLiveness {
+    /// All-up overlay for `net`.
+    pub fn new(net: &Network) -> Self {
+        Self::all_up(net.channel_count())
+    }
+
+    /// All-up overlay for a network with `channel_count` channels.
+    pub fn all_up(channel_count: usize) -> Self {
+        ChannelLiveness {
+            up: vec![true; channel_count],
+        }
+    }
+
+    /// Number of channels the overlay covers.
+    pub fn channel_count(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Mark a channel down (idempotent).
+    pub fn set_down(&mut self, c: ChannelId) {
+        self.up[c.index()] = false;
+    }
+
+    /// Mark a channel up again (idempotent).
+    pub fn set_up(&mut self, c: ChannelId) {
+        self.up[c.index()] = true;
+    }
+
+    /// Whether the channel is currently up.
+    pub fn is_up(&self, c: ChannelId) -> bool {
+        self.up[c.index()]
+    }
+
+    /// Whether every channel is up.
+    pub fn all_channels_up(&self) -> bool {
+        self.up.iter().all(|&u| u)
+    }
+
+    /// Number of channels currently down.
+    pub fn down_count(&self) -> usize {
+        self.up.iter().filter(|&&u| !u).count()
+    }
+
+    /// The currently-down channels, in id order.
+    pub fn down_channels(&self) -> Vec<ChannelId> {
+        (0..self.up.len())
+            .filter(|&i| !self.up[i])
+            .map(ChannelId::from_index)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::line;
+
+    #[test]
+    fn starts_all_up_and_tracks_transitions() {
+        let (net, _) = line(4);
+        let mut live = ChannelLiveness::new(&net);
+        assert_eq!(live.channel_count(), net.channel_count());
+        assert!(live.all_channels_up());
+        assert_eq!(live.down_count(), 0);
+        assert!(live.down_channels().is_empty());
+
+        let c = ChannelId::from_index(2);
+        live.set_down(c);
+        live.set_down(c); // idempotent
+        assert!(!live.is_up(c));
+        assert!(!live.all_channels_up());
+        assert_eq!(live.down_channels(), vec![c]);
+
+        live.set_up(c);
+        assert!(live.is_up(c));
+        assert!(live.all_channels_up());
+    }
+
+    #[test]
+    fn down_channels_are_sorted() {
+        let mut live = ChannelLiveness::all_up(6);
+        for i in [5usize, 1, 3] {
+            live.set_down(ChannelId::from_index(i));
+        }
+        let down = live.down_channels();
+        assert_eq!(
+            down,
+            vec![
+                ChannelId::from_index(1),
+                ChannelId::from_index(3),
+                ChannelId::from_index(5)
+            ]
+        );
+        assert_eq!(live.down_count(), 3);
+    }
+}

@@ -125,6 +125,30 @@ impl TableRouting {
     pub fn compile(&self, net: &Network) -> Result<CompiledRouting, RouteError> {
         CompiledRouting::from_table(net, self).map_err(RouteError::from)
     }
+
+    /// The degraded table after the `down` channels fail: every pair
+    /// whose path traverses a down channel becomes unrouted (oblivious
+    /// routing has no alternative path to offer), all other pairs keep
+    /// their paths unchanged.
+    ///
+    /// This is the honest graceful-degradation model used by the fault
+    /// layer: re-running the deadlock classifier on the result answers
+    /// whether the algorithm's verdict survives the failure. The
+    /// degraded table is generally not total — callers can count the
+    /// lost pairs by comparing [`TableRouting::len`].
+    pub fn without_channels(&self, down: &[wormnet::ChannelId]) -> TableRouting {
+        if down.is_empty() {
+            return self.clone();
+        }
+        TableRouting {
+            paths: self
+                .paths
+                .iter()
+                .filter(|(_, path)| !path.channels().iter().any(|c| down.contains(c)))
+                .map(|(&pair, path)| (pair, path.clone()))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +225,25 @@ mod tests {
             t.insert(&net, nodes[0], nodes[1], p),
             Err(RouteError::DuplicatePair(nodes[0], nodes[1]))
         );
+    }
+
+    #[test]
+    fn without_channels_drops_exactly_the_affected_pairs() {
+        let (net, nodes) = ring4();
+        let table =
+            TableRouting::from_node_paths(&net, |s, d| Some(cw_walk(&nodes, s, d))).unwrap();
+        let c0 = net.find_channel(nodes[0], nodes[1]).unwrap();
+        let degraded = table.without_channels(&[c0]);
+        for ((src, dst), path) in table.iter() {
+            let uses = path.channels().contains(&c0);
+            assert_eq!(degraded.path(*src, *dst).is_none(), uses);
+        }
+        // On the 4-ring, the 0->1 hop serves pairs 0->1, 0->2, 0->3,
+        // 3->1, 3->2, 2->1: six of the twelve pairs.
+        assert_eq!(degraded.len(), 6);
+        assert!(!degraded.is_total(&net));
+        // No-fault degradation is the identity.
+        assert_eq!(table.without_channels(&[]), table);
     }
 
     #[test]

@@ -19,6 +19,16 @@ pub struct SearchConfig {
     /// Maximum distinct states to visit before giving up with
     /// [`Verdict::Inconclusive`].
     pub max_states: usize,
+    /// Channels that are permanently faulted: they never transmit,
+    /// never accept a flit, and are never acquirable by a header — the
+    /// search explores the degraded network's dynamics. A message
+    /// blocked on a dead channel *starves* (it stops generating
+    /// successor states) but does not deadlock: deadlock detection
+    /// still requires a wait-for cycle through *owned* channels, so a
+    /// [`Verdict::DeadlockFree`] on a faulted network certifies "no
+    /// wait-for cycle", not "all messages delivered". Empty (the
+    /// default) reproduces the fault-free search bit for bit.
+    pub dead_channels: Vec<ChannelId>,
 }
 
 impl Default for SearchConfig {
@@ -26,6 +36,7 @@ impl Default for SearchConfig {
         SearchConfig {
             stall_budget: 0,
             max_states: 8_000_000,
+            dead_channels: Vec::new(),
         }
     }
 }
@@ -35,6 +46,14 @@ impl SearchConfig {
     pub fn with_stalls(budget: u32) -> Self {
         SearchConfig {
             stall_budget: budget,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Config with permanently-dead channels.
+    pub fn with_dead_channels(dead: Vec<ChannelId>) -> Self {
+        SearchConfig {
+            dead_channels: dead,
             ..SearchConfig::default()
         }
     }
@@ -66,7 +85,7 @@ pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
     }
 
     let mut stack = vec![Frame {
-        options: decision_options(sim, &initial, config.stall_budget),
+        options: decision_options(sim, &initial, config.stall_budget, &config.dead_channels),
         state: initial,
         budget: config.stall_budget,
         next: 0,
@@ -129,7 +148,7 @@ pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
             path.pop();
             continue;
         }
-        let options = decision_options(sim, &state, budget);
+        let options = decision_options(sim, &state, budget, &config.dead_channels);
         stack.push(Frame {
             state,
             budget,
@@ -177,7 +196,7 @@ pub fn explore_until(
         next: usize,
     }
     let mut stack = vec![Frame {
-        options: decision_options(sim, &initial, config.stall_budget),
+        options: decision_options(sim, &initial, config.stall_budget, &config.dead_channels),
         state: initial,
         budget: config.stall_budget,
         next: 0,
@@ -224,7 +243,7 @@ pub fn explore_until(
             path.pop();
             continue;
         }
-        let options = decision_options(sim, &state, budget);
+        let options = decision_options(sim, &state, budget, &config.dead_channels);
         stack.push(Frame {
             state,
             budget,
@@ -254,7 +273,7 @@ pub fn explore_shortest(sim: &Sim, config: &SearchConfig) -> SearchResult {
     queue.push_back((initial, config.stall_budget, Vec::new()));
 
     while let Some((state, budget, history)) = queue.pop_front() {
-        for decision in decision_options(sim, &state, budget) {
+        for decision in decision_options(sim, &state, budget, &config.dead_channels) {
             let mut next = state.clone();
             let report = sim.step(&mut next, &decision);
             if !report.moved {
@@ -307,6 +326,7 @@ pub fn min_stall_budget(
             &SearchConfig {
                 stall_budget: budget,
                 max_states,
+                dead_channels: Vec::new(),
             },
         );
         let found = result.verdict.is_deadlock();
@@ -340,6 +360,7 @@ pub fn min_stall_budget_parallel(
             &SearchConfig {
                 stall_budget: budget,
                 max_states,
+                dead_channels: Vec::new(),
             },
             threads,
         );
@@ -378,14 +399,24 @@ pub fn render_witness(sim: &Sim, net: &wormnet::Network, witness: &Witness) -> S
 }
 
 /// All decision combinations worth exploring from `state` (shared with
-/// the parallel engine in [`crate::parallel`]).
-pub(crate) fn decision_options(sim: &Sim, state: &SimState, budget: u32) -> Vec<Decisions> {
+/// the parallel engine in [`crate::parallel`]). `dead` channels are
+/// never acquirable and are frozen in every emitted decision.
+pub(crate) fn decision_options(
+    sim: &Sim,
+    state: &SimState,
+    budget: u32,
+    dead: &[ChannelId],
+) -> Vec<Decisions> {
     // Messages that could actually inject now: pending, and their
-    // first channel is empty and unowned (others are no-ops).
+    // first channel is empty, unowned, and alive (others are no-ops —
+    // a dead first channel means the message can never start).
     let injectable: Vec<MessageId> = sim
         .pending(state)
         .into_iter()
-        .filter(|&m| state.channels[sim.path(m)[0].index()].is_none())
+        .filter(|&m| {
+            let c0 = sim.path(m)[0];
+            state.channels[c0.index()].is_none() && !dead.contains(&c0)
+        })
         .collect();
     // Messages an adversary could usefully stall: in flight.
     let stallable: Vec<MessageId> = sim
@@ -409,7 +440,7 @@ pub(crate) fn decision_options(sim: &Sim, state: &SimState, budget: u32) -> Vec<
                 .collect()
         };
         for stalls in stall_subsets {
-            let requests = sim.header_requests(state, &inject, &stalls);
+            let requests = sim.header_requests_frozen(state, &inject, &stalls, dead);
             let conflicts: Vec<(ChannelId, Vec<MessageId>)> = requests
                 .into_iter()
                 .filter(|(_, reqs)| reqs.len() >= 2)
@@ -420,6 +451,7 @@ pub(crate) fn decision_options(sim: &Sim, state: &SimState, budget: u32) -> Vec<
                 &mut BTreeMap::new(),
                 &inject,
                 &stalls,
+                dead,
                 &mut out,
             );
         }
@@ -427,12 +459,14 @@ pub(crate) fn decision_options(sim: &Sim, state: &SimState, budget: u32) -> Vec<
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn expand_winners(
     conflicts: &[(ChannelId, Vec<MessageId>)],
     idx: usize,
     chosen: &mut BTreeMap<ChannelId, MessageId>,
     inject: &[MessageId],
     stalls: &[MessageId],
+    dead: &[ChannelId],
     out: &mut Vec<Decisions>,
 ) {
     if idx == conflicts.len() {
@@ -441,15 +475,17 @@ fn expand_winners(
             stalls: stalls.to_vec(),
             winners: chosen.clone(),
             // Channel-level skew is subsumed by message stalls for
-            // reachability purposes; the search never freezes channels.
-            frozen: Vec::new(),
+            // reachability purposes, so the search only freezes the
+            // permanently-dead channels of a degraded network (the
+            // set is constant, so state deduplication is unaffected).
+            frozen: dead.to_vec(),
         });
         return;
     }
     let (chan, reqs) = &conflicts[idx];
     for &m in reqs {
         chosen.insert(*chan, m);
-        expand_winners(conflicts, idx + 1, chosen, inject, stalls, out);
+        expand_winners(conflicts, idx + 1, chosen, inject, stalls, dead, out);
     }
     chosen.remove(chan);
 }
@@ -569,6 +605,7 @@ mod tests {
             &SearchConfig {
                 stall_budget: 0,
                 max_states: 1,
+                dead_channels: Vec::new(),
             },
         );
         // With a 1-state budget we either found the deadlock very

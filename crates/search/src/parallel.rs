@@ -42,6 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
+use wormnet::ChannelId;
 use wormsim::{Decisions, PackedState, Sim, SimState, StateCodec};
 
 use crate::explore::{decision_options, SearchConfig};
@@ -357,6 +358,7 @@ struct ObliviousSpace<'a> {
     sim: &'a Sim,
     codec: StateCodec,
     budget: u32,
+    dead: Vec<ChannelId>,
 }
 
 impl Space for ObliviousSpace<'_> {
@@ -373,7 +375,7 @@ impl Space for ObliviousSpace<'_> {
     }
 
     fn successors(&self, (state, budget): &Self::State, out: &mut Vec<(Decisions, Self::State)>) {
-        for decision in decision_options(self.sim, state, *budget) {
+        for decision in decision_options(self.sim, state, *budget, &self.dead) {
             let mut next = state.clone();
             let report = self.sim.step(&mut next, &decision);
             if !report.moved {
@@ -405,6 +407,7 @@ pub fn explore_parallel(sim: &Sim, config: &SearchConfig, threads: usize) -> Sea
         sim,
         codec: StateCodec::new(sim, config.stall_budget),
         budget: config.stall_budget,
+        dead: config.dead_channels.clone(),
     };
     let outcome = search_parallel(&space, config.max_states, threads);
     let verdict = match outcome.verdict {
@@ -505,6 +508,7 @@ mod tests {
         let config = SearchConfig {
             stall_budget: 1,
             max_states: 2,
+            dead_channels: Vec::new(),
         };
         let result = explore_parallel(&sim, &config, 4);
         match result.verdict {

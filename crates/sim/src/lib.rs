@@ -61,6 +61,7 @@ mod message;
 mod state;
 
 pub mod adaptive;
+pub mod hooks;
 pub mod packed;
 pub mod runner;
 pub mod skew;

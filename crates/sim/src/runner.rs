@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use wormnet::ChannelId;
 
 use crate::engine::{Decisions, Sim};
+use crate::hooks::DecisionHook;
 use crate::message::MessageId;
 use crate::skew::SkewModel;
 use crate::state::SimState;
@@ -133,11 +134,25 @@ impl<'a> Runner<'a> {
 
     /// Run until delivery, deadlock, or `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> Outcome {
+        self.run_inner(max_cycles, None)
+    }
+
+    /// [`Runner::run`] with a [`DecisionHook`] adjusting every cycle's
+    /// decisions (see [`crate::hooks`]). A no-op hook reproduces
+    /// [`Runner::run`] bit for bit.
+    pub fn run_hooked(&mut self, max_cycles: u64, hook: &mut dyn DecisionHook) -> Outcome {
+        self.run_inner(max_cycles, Some(hook))
+    }
+
+    fn run_inner(&mut self, max_cycles: u64, mut hook: Option<&mut dyn DecisionHook>) -> Outcome {
         while self.time < max_cycles {
             if self.sim.all_delivered(&self.state) {
                 return Outcome::Delivered { cycles: self.time };
             }
-            self.step();
+            match hook {
+                Some(ref mut h) => self.step_inner(Some(&mut **h)),
+                None => self.step_inner(None),
+            }
             if let Some(members) = self.sim.find_deadlock(&self.state) {
                 return Outcome::Deadlock {
                     members,
@@ -154,7 +169,18 @@ impl<'a> Runner<'a> {
 
     /// Advance one cycle under the policy.
     pub fn step(&mut self) {
+        self.step_inner(None);
+    }
+
+    /// [`Runner::step`] with a [`DecisionHook`] adjusting this cycle's
+    /// decisions before arbitration.
+    pub fn step_hooked(&mut self, hook: &mut dyn DecisionHook) {
+        self.step_inner(Some(hook));
+    }
+
+    fn step_inner(&mut self, hook: Option<&mut dyn DecisionHook>) {
         let sim = self.sim;
+        let cycle = self.time;
         // Messages released by their inject_at times.
         let inject: Vec<MessageId> = sim
             .pending(&self.state)
@@ -172,6 +198,27 @@ impl<'a> Runner<'a> {
             .as_ref()
             .map(|s| s.frozen_at(self.time))
             .unwrap_or_default();
+
+        // Let the hook adjust the tentative decision sets before any
+        // request or arbitration is derived from them — a hook that
+        // removes a message's request after a winner was chosen would
+        // trip the engine's bogus-winner panic.
+        let mut tentative = Decisions {
+            inject,
+            stalls,
+            winners: BTreeMap::new(),
+            frozen,
+        };
+        let mut hook = hook;
+        if let Some(h) = hook.as_deref_mut() {
+            h.adjust(sim, &self.state, self.time, &mut tentative);
+        }
+        let Decisions {
+            inject,
+            stalls,
+            frozen,
+            ..
+        } = tentative;
 
         // Track request ages for OldestFirst.
         let requests = sim.header_requests_frozen(&self.state, &inject, &stalls, &frozen);
@@ -220,6 +267,10 @@ impl<'a> Runner<'a> {
         // Remember winners for round-robin rotation.
         for (&chan, &w) in &decisions.winners {
             self.last_winner.insert(chan, w);
+        }
+        if let Some(h) = hook {
+            // Same `time` value `adjust` saw for this cycle.
+            h.observe(sim, &self.state, cycle, &report);
         }
     }
 

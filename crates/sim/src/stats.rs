@@ -4,7 +4,7 @@
 use crate::message::MessageId;
 
 /// Collected statistics for one run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Total cycles simulated.
     pub cycles: u64,

@@ -112,3 +112,46 @@ proptest! {
         }
     }
 }
+
+/// Regression (`props_engine.proptest-regressions`, case
+/// `a6cd2749…`, shrunk to `period = 3, seed = 0`): the smallest
+/// uniform skew on the 4-ring. With every router pausing once per 3
+/// cycles the injection race desynchronizes enough that the run used
+/// to *outlive* the original (too short) horizon without reaching
+/// either terminal — a liveness-budget bug in the test, not an engine
+/// hang. Pinned with the generous horizon so the termination
+/// guarantee stays checked at the boundary period.
+#[test]
+fn regression_ring_skew_period3_seed0() {
+    let (net, nodes) = ring_unidirectional(4);
+    let table = clockwise_ring(&net, &nodes).expect("routes");
+    let specs: Vec<MessageSpec> = (0..4)
+        .map(|i| MessageSpec::new(nodes[i], nodes[(i + 2) % 4], 3))
+        .collect();
+    let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let skew = SkewModel::uniform_random(&net, &mut rng, 3);
+    let mut state = sim.initial_state();
+    let mut terminal = false;
+    for t in 0..500u64 {
+        let d = Decisions {
+            inject: sim.pending(&state),
+            frozen: skew.frozen_at(t),
+            ..Decisions::default()
+        };
+        sim.step(&mut state, &d);
+        sim.check_invariants(&state);
+        if let Some(members) = sim.find_deadlock(&state) {
+            for m in &members {
+                assert!(state.is_started(*m), "deadlock member not in flight");
+            }
+            terminal = true;
+            break;
+        }
+        if sim.all_delivered(&state) {
+            terminal = true;
+            break;
+        }
+    }
+    assert!(terminal, "run must deadlock or deliver within the horizon");
+}

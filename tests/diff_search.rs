@@ -85,6 +85,7 @@ proptest! {
         let config = SearchConfig {
             stall_budget: budget,
             max_states: 400_000,
+            dead_channels: Vec::new(),
         };
         let seq = explore(&sim, &config);
         let par = explore_parallel(&sim, &config, 4);
@@ -154,6 +155,7 @@ proptest! {
         let config = SearchConfig {
             stall_budget: budget,
             max_states: 400_000,
+            dead_channels: Vec::new(),
         };
         let reference = explore_parallel(&sim, &config, 1);
         for threads in [2, 5] {
@@ -270,6 +272,7 @@ fn tiny_state_cap_is_inconclusive_with_count() {
     let config = SearchConfig {
         stall_budget: 0,
         max_states: 4,
+        dead_channels: Vec::new(),
     };
     for result in [explore(&sim, &config), explore_parallel(&sim, &config, 4)] {
         let Verdict::Inconclusive { states_visited } = result.verdict else {

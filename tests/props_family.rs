@@ -120,3 +120,48 @@ proptest! {
         }
     }
 }
+
+/// Regression (`props_family.proptest-regressions`, case
+/// `5cbaa549…`): a construction whose **only** sharing message sits
+/// in a non-zero group, preceded by a private message. The
+/// `geometry_round_trips` property originally assumed `c.cs` was the
+/// channel of group 0; the builder's actual convention is "the first
+/// group *in use*" — here group 1 — so the old expectation looked up
+/// the wrong channel and read `d = None` where `Some(d)` was correct.
+/// Kept as a named case so the builder convention can't regress
+/// silently.
+#[test]
+fn regression_single_sharer_in_nonzero_group() {
+    let spec = SharedCycleSpec {
+        messages: vec![
+            CycleMessageSpec::private(1, 1, 1),
+            CycleMessageSpec::shared_in_group(1, 1, 1, 1),
+        ],
+    };
+    let c = spec.build();
+    let cycle = c.cycle();
+
+    // cs is group 1's channel (the only group in use), and the
+    // sharing message's access distance round-trips through it.
+    let g1 = sharing::geometry(&c.net, &c.table, &cycle, c.built[1].pair, Some(c.cs));
+    assert_eq!(g1.d, Some(1));
+    assert_eq!(g1.a, spec.messages[1].a());
+
+    // The private message never traverses cs.
+    let g0 = sharing::geometry(&c.net, &c.table, &cycle, c.built[0].pair, Some(c.cs));
+    assert_eq!(g0.d, None);
+    assert_eq!(g0.a, spec.messages[0].a());
+
+    // And with a single sharer the channel is not outside-shared.
+    let candidate = c.canonical_candidate();
+    let analysis = sharing::analyze(&c.net, &c.table, &cycle, &candidate);
+    let shared = c.shared_channels();
+    assert_eq!(
+        analysis
+            .outside()
+            .filter(|s| shared.contains(&s.channel))
+            .count(),
+        0,
+        "one sharer does not make a shared channel"
+    );
+}

@@ -1,0 +1,103 @@
+//! Golden snapshots of the `wormtrace/1` and `wormtrace-summary/1`
+//! JSON schemas.
+//!
+//! The trace formats are a public interface (docs/TRACING.md): CI
+//! diffs `trace_summary.json` across commits, so the byte layout —
+//! key order, indentation, escaping, span encoding — must not drift
+//! silently. These tests pin it against fixtures in
+//! `tests/snapshots/`, built from hand-assembled [`TraceReport`]s
+//! with fixed durations (span totals are wall-clock in real runs, so
+//! only synthetic reports snapshot deterministically).
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test trace_snapshots
+//! ```
+//!
+//! then commit the updated `tests/snapshots/*.json` together with the
+//! format change and a docs/TRACING.md update.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cyclic_wormhole::trace::{summarize, SpanStat, TraceReport};
+
+fn snapshot_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots")
+}
+
+/// Compare `actual` against the named fixture, or rewrite the fixture
+/// when `UPDATE_SNAPSHOTS=1`.
+fn assert_snapshot(name: &str, actual: &str) {
+    let path = snapshot_dir().join(name);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(snapshot_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run UPDATE_SNAPSHOTS=1 cargo test --test trace_snapshots",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "snapshot {name} drifted; if intentional, regenerate with \
+         UPDATE_SNAPSHOTS=1 cargo test --test trace_snapshots"
+    );
+}
+
+/// A synthetic report exercising every feature of the format: plain
+/// and escaped keys, zero and large values, integral and fractional
+/// gauges, and spans with fixed totals.
+fn sample_report() -> TraceReport {
+    let mut r = TraceReport::default();
+    r.counters.insert("sim.cycles".into(), 1_234);
+    r.counters.insert("fault.channel_down".into(), 2);
+    r.counters.insert("search.states".into(), 0);
+    r.counters.insert("weird \"name\"\n".into(), u64::MAX);
+    r.gauges.insert("search.frontier_peak".into(), 17.0);
+    r.gauges.insert("sim.utilization".into(), 0.257_812_5);
+    r.gauges.insert("bad.value".into(), f64::NAN);
+    r.spans.insert(
+        "fault.plan".into(),
+        SpanStat {
+            count: 3,
+            total: Duration::from_nanos(1_500_000),
+        },
+    );
+    r.spans.insert(
+        "classify.algorithm".into(),
+        SpanStat {
+            count: 1,
+            total: Duration::ZERO,
+        },
+    );
+    r
+}
+
+#[test]
+fn trace_report_json_matches_snapshot() {
+    assert_snapshot(
+        "trace_report.json",
+        &sample_report().to_json("snapshot-test"),
+    );
+}
+
+#[test]
+fn empty_trace_report_json_matches_snapshot() {
+    assert_snapshot(
+        "trace_report_empty.json",
+        &TraceReport::default().to_json("empty"),
+    );
+}
+
+#[test]
+fn trace_summary_json_matches_snapshot() {
+    let full = sample_report().to_json("exp_one");
+    let empty = TraceReport::default().to_json("exp_two");
+    let summary = summarize([("exp_one", full.as_str()), ("exp_two", empty.as_str())]);
+    assert_snapshot("trace_summary.json", &summary);
+}
