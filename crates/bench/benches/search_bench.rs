@@ -5,35 +5,27 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use worm_core::paper::{fig1, fig2, fig3, generalized};
+use worm_core::paper::generalized;
+use wormbench::scenarios::search_scenarios;
 use wormsearch::{explore, SearchConfig};
 use wormsim::Sim;
 
-fn bench_fig1_search(c: &mut Criterion) {
-    let con = fig1::cyclic_dependency();
-    let sim = Sim::new(&con.net, &con.table, con.message_specs(), Some(1)).expect("routed");
-    c.bench_function("search_fig1_deadlock_freedom", |b| {
-        b.iter(|| explore(black_box(&sim), &SearchConfig::default()));
-    });
-}
-
-fn bench_fig2_search(c: &mut Criterion) {
-    let con = fig2::two_message_deadlock();
-    let sim = Sim::new(&con.net, &con.table, con.message_specs(), Some(1)).expect("routed");
-    c.bench_function("search_fig2_witness", |b| {
-        b.iter(|| explore(black_box(&sim), &SearchConfig::default()));
-    });
-}
-
-fn bench_fig3_scenarios(c: &mut Criterion) {
-    let mut group = c.benchmark_group("search_fig3");
+/// Every named scenario from `wormbench::scenarios` — the same
+/// workloads `bench_report` measures into `BENCH_search.json` — plain
+/// and, where the instance has a symmetry group, canonicalized.
+fn bench_named_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
     group.sample_size(10);
-    for s in fig3::all_scenarios() {
-        let con = s.spec.build();
-        let sim = Sim::new(&con.net, &con.table, s.message_specs(&con), Some(1)).expect("routed");
-        group.bench_function(s.name, |b| {
-            b.iter(|| explore(black_box(&sim), &SearchConfig::default()));
+    for s in search_scenarios() {
+        let config = s.plain_config();
+        group.bench_function(s.name.clone(), |b| {
+            b.iter(|| explore(black_box(&s.sim), &config));
         });
+        if let Some(canon_config) = s.canon_config() {
+            group.bench_function(format!("{}_canon", s.name), |b| {
+                b.iter(|| explore(black_box(&s.sim), &canon_config));
+            });
+        }
     }
     group.finish();
 }
@@ -58,6 +50,7 @@ fn bench_stall_budget(c: &mut Criterion) {
                         stall_budget: budget,
                         max_states: 5_000_000,
                         dead_channels: Vec::new(),
+                        ..SearchConfig::default()
                     },
                 )
             });
@@ -110,9 +103,7 @@ fn bench_adaptive_search(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_fig1_search,
-    bench_fig2_search,
-    bench_fig3_scenarios,
+    bench_named_scenarios,
     bench_stall_budget,
     bench_adaptive_search
 );

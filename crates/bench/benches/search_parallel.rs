@@ -78,6 +78,7 @@ fn bench_theorem5_instance(c: &mut Criterion) {
         stall_budget: 3,
         max_states: 8_000_000,
         dead_channels: Vec::new(),
+        ..SearchConfig::default()
     };
     bench_instance(c, "search_parallel_theorem5", &sim, &config);
 }
@@ -97,6 +98,7 @@ fn bench_generalized_instance(c: &mut Criterion) {
         stall_budget: 3,
         max_states: 8_000_000,
         dead_channels: Vec::new(),
+        ..SearchConfig::default()
     };
     bench_instance(c, "search_parallel_g3", &sim, &config);
 }

@@ -1,0 +1,324 @@
+//! Headless benchmark runner and the `wormbench/1` JSON baselines.
+//!
+//! Criterion output is for humans watching a terminal; the committed
+//! baselines `BENCH_search.json` and `BENCH_sim.json` are for diffs:
+//! regenerate them with the `bench_report` binary after a performance
+//! change and the review shows exactly which scenario's state count,
+//! throughput, or symmetry reduction moved.
+//!
+//! Like `wormtrace/1` (the trace report schema), the serializer is
+//! hand-rolled — the workspace builds offline, so no serde — and all
+//! maps are [`BTreeMap`]s: keys serialize sorted, so two runs with
+//! identical measurements produce byte-identical files.
+//!
+//! Determinism caveat: per-entry *structural* values (`states`,
+//! `verdict`, `canon_states`, `reduction`, `delivered`) are exactly
+//! reproducible; timing values (`states_per_sec`, `cycles_per_sec`,
+//! `elapsed_ms`) are machine-dependent and only meaningful relative
+//! to other entries from the same run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+use crate::scenarios::{search_scenarios, sim_scenarios, SearchScenario, SimScenario};
+use wormsearch::{explore, SearchResult, Verdict};
+use wormsim::runner::Runner;
+
+/// Schema identifier stamped into every baseline file.
+pub const SCHEMA: &str = "wormbench/1";
+
+/// A single measured value in a baseline entry.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BenchValue {
+    /// An exact count (states, lookups, cycles).
+    Int(u64),
+    /// A rate or ratio (machine-dependent unless noted).
+    Float(f64),
+    /// A label (e.g. the search verdict).
+    Str(String),
+}
+
+impl fmt::Display for BenchValue {
+    /// Renders as a JSON value.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchValue::Int(v) => write!(f, "{v}"),
+            BenchValue::Float(v) if v.is_finite() => write!(f, "{v:?}"),
+            BenchValue::Float(_) => write!(f, "null"),
+            BenchValue::Str(s) => write!(f, "\"{}\"", escape(s)),
+        }
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One suite's measurements: scenario name → sorted key/value map.
+///
+/// ```
+/// use wormbench::bench_report::{BenchReport, BenchValue};
+///
+/// let mut report = BenchReport::new("search");
+/// report.insert("fig1", "states", BenchValue::Int(7));
+/// report.insert("fig1", "verdict", BenchValue::Str("free".into()));
+/// let json = report.to_json();
+/// assert!(json.starts_with("{\n  \"schema\": \"wormbench/1\""));
+/// assert!(json.contains("\"states\": 7"));
+/// assert!(json.ends_with("}\n"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    /// Which suite produced this report (`"search"` or `"sim"`).
+    pub suite: String,
+    /// Scenario name → measurement key → value, both levels sorted.
+    pub entries: BTreeMap<String, BTreeMap<String, BenchValue>>,
+}
+
+impl BenchReport {
+    /// An empty report for `suite`.
+    pub fn new(suite: impl Into<String>) -> Self {
+        BenchReport {
+            suite: suite.into(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Record `key = value` under scenario `entry`.
+    pub fn insert(&mut self, entry: &str, key: &str, value: BenchValue) {
+        self.entries
+            .entry(entry.to_string())
+            .or_default()
+            .insert(key.to_string(), value);
+    }
+
+    /// Serialize to the `wormbench/1` schema: 2-space indentation,
+    /// sorted keys at every level, trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", escape(SCHEMA)));
+        out.push_str(&format!("  \"suite\": \"{}\",\n", escape(&self.suite)));
+        out.push_str("  \"entries\": {");
+        let mut first_entry = true;
+        for (name, values) in &self.entries {
+            out.push_str(if first_entry { "\n" } else { ",\n" });
+            first_entry = false;
+            out.push_str(&format!("    \"{}\": {{", escape(name)));
+            let mut first_value = true;
+            for (key, value) in values {
+                out.push_str(if first_value { "\n" } else { ",\n" });
+                first_value = false;
+                out.push_str(&format!("      \"{}\": {value}", escape(key)));
+            }
+            out.push_str(if first_value { "}" } else { "\n    }" });
+        }
+        out.push_str(if first_entry { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Short label for a search verdict.
+fn verdict_label(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::DeadlockReachable(_) => "deadlock",
+        Verdict::DeadlockFree => "free",
+        Verdict::Inconclusive { .. } => "inconclusive",
+    }
+}
+
+/// Record one engine run's measurements under `prefix`-ed keys.
+fn record_search(report: &mut BenchReport, entry: &str, prefix: &str, result: &SearchResult) {
+    let key = |k: &str| format!("{prefix}{k}");
+    report.insert(
+        entry,
+        &key("states"),
+        BenchValue::Int(result.states_explored as u64),
+    );
+    report.insert(
+        entry,
+        &key("states_per_sec"),
+        BenchValue::Float(result.metrics.states_per_sec.round()),
+    );
+    report.insert(
+        entry,
+        &key("frontier_peak"),
+        BenchValue::Int(result.metrics.frontier_peak as u64),
+    );
+    report.insert(
+        entry,
+        &key("dedup_hits"),
+        BenchValue::Int(result.metrics.dedup_hits),
+    );
+    report.insert(
+        entry,
+        &key("dedup_lookups"),
+        BenchValue::Int(result.metrics.dedup_lookups),
+    );
+    report.insert(
+        entry,
+        &key("verdict"),
+        BenchValue::Str(verdict_label(&result.verdict).into()),
+    );
+}
+
+/// Run one search scenario (plain, then canonicalized when the
+/// instance has a symmetry group) into `report`.
+fn run_search_scenario(report: &mut BenchReport, s: &SearchScenario, smoke: bool) {
+    let mut config = s.plain_config();
+    if smoke {
+        config.max_states = config.max_states.min(20_000);
+    }
+    let plain = explore(&s.sim, &config);
+    record_search(report, &s.name, "", &plain);
+    if let Some(mut canon_config) = s.canon_config() {
+        if smoke {
+            canon_config.max_states = canon_config.max_states.min(20_000);
+        }
+        let folded = explore(&s.sim, &canon_config);
+        record_search(report, &s.name, "canon_", &folded);
+        report.insert(
+            &s.name,
+            "canon_order",
+            BenchValue::Int(s.canon.as_ref().map_or(0, |c| c.order()) as u64),
+        );
+        if folded.states_explored > 0 {
+            report.insert(
+                &s.name,
+                "reduction",
+                BenchValue::Float(
+                    (plain.states_explored as f64 / folded.states_explored as f64 * 100.0).round()
+                        / 100.0,
+                ),
+            );
+        }
+    }
+}
+
+/// Run the search suite headlessly. `smoke` caps every search at a
+/// small state budget so CI can validate the harness in seconds; full
+/// runs explore each scenario to completion.
+pub fn run_search_suite(smoke: bool) -> BenchReport {
+    let mut report = BenchReport::new("search");
+    for s in search_scenarios() {
+        run_search_scenario(&mut report, &s, smoke);
+    }
+    report
+}
+
+/// Run one simulator scenario into `report`.
+fn run_sim_scenario(report: &mut BenchReport, s: &SimScenario, smoke: bool) {
+    let max_cycles = if smoke {
+        s.max_cycles.min(200)
+    } else {
+        s.max_cycles
+    };
+    let start = Instant::now();
+    let mut runner = Runner::new(&s.sim, s.policy.clone());
+    let outcome = runner.run(max_cycles);
+    let elapsed = start.elapsed();
+    let stats = runner.stats();
+    let delivered = stats.delivered_at.iter().filter(|d| d.is_some()).count();
+    report.insert(&s.name, "cycles", BenchValue::Int(stats.cycles));
+    report.insert(&s.name, "flit_moves", BenchValue::Int(stats.flit_moves));
+    report.insert(&s.name, "delivered", BenchValue::Int(delivered as u64));
+    report.insert(
+        &s.name,
+        "outcome",
+        BenchValue::Str(
+            match outcome {
+                wormsim::runner::Outcome::Delivered { .. } => "delivered",
+                wormsim::runner::Outcome::Deadlock { .. } => "deadlock",
+                wormsim::runner::Outcome::Timeout { .. } => "timeout",
+            }
+            .into(),
+        ),
+    );
+    let secs = elapsed.as_secs_f64();
+    report.insert(
+        &s.name,
+        "cycles_per_sec",
+        BenchValue::Float(if secs > 0.0 {
+            (stats.cycles as f64 / secs).round()
+        } else {
+            0.0
+        }),
+    );
+}
+
+/// Run the simulator suite headlessly. `smoke` caps every run at a
+/// few hundred cycles.
+pub fn run_sim_suite(smoke: bool) -> BenchReport {
+    let mut report = BenchReport::new("sim");
+    for s in sim_scenarios() {
+        run_sim_scenario(&mut report, &s, smoke);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let report = BenchReport::new("search");
+        assert_eq!(
+            report.to_json(),
+            "{\n  \"schema\": \"wormbench/1\",\n  \"suite\": \"search\",\n  \"entries\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn keys_serialize_sorted() {
+        let mut report = BenchReport::new("sim");
+        report.insert("zeta", "b", BenchValue::Int(2));
+        report.insert("alpha", "z", BenchValue::Int(1));
+        report.insert("alpha", "a", BenchValue::Float(0.5));
+        let json = report.to_json();
+        let alpha = json.find("\"alpha\"").unwrap();
+        let zeta = json.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta);
+        let a = json.find("\"a\": 0.5").unwrap();
+        let z = json.find("\"z\": 1").unwrap();
+        assert!(a < z);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut report = BenchReport::new("sim");
+        report.insert("e", "note", BenchValue::Str("a\"b\\c\nd".into()));
+        assert!(report.to_json().contains("\"note\": \"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn smoke_suites_produce_entries() {
+        let search = run_search_suite(true);
+        assert_eq!(search.suite, "search");
+        assert!(search.entries.contains_key("fig1"));
+        assert!(search.entries.contains_key("g5"));
+        let fig1 = &search.entries["fig1"];
+        assert!(fig1.contains_key("states"));
+        assert!(fig1.contains_key("canon_states"));
+        assert!(fig1.contains_key("reduction"));
+
+        let sim = run_sim_suite(true);
+        assert!(sim.entries.contains_key("fig1_adversarial"));
+        assert!(sim.entries["fig1_adversarial"].contains_key("cycles_per_sec"));
+    }
+}

@@ -86,6 +86,7 @@ fn main() {
                     stall_budget: 0,
                     max_states: 20_000_000,
                     dead_channels: Vec::new(),
+                    ..SearchConfig::default()
                 },
             );
             row(&[

@@ -9,10 +9,16 @@
 //! * [`args`] — the `--threads` / flag-value scanners every binary
 //!   uses;
 //! * [`trace`] — the `--trace <path>` machine-readable trace dump
-//!   (see `docs/TRACING.md` for the JSON schema).
+//!   (see `docs/TRACING.md` for the JSON schema);
+//! * [`scenarios`] — the named search/simulator workloads shared by
+//!   the Criterion suites and the `bench_report` harness;
+//! * [`bench_report`] — the headless runner behind the committed
+//!   `wormbench/1` baselines (see `docs/PERFORMANCE.md`).
 
 #![deny(missing_docs)]
 
 pub mod args;
+pub mod bench_report;
 pub mod report;
+pub mod scenarios;
 pub mod trace;

@@ -1,0 +1,200 @@
+//! Named benchmark scenarios shared by the Criterion suites and the
+//! `bench_report` harness.
+//!
+//! Both consumers must measure *the same* workloads or the committed
+//! baselines (`BENCH_search.json`, `BENCH_sim.json`) drift away from
+//! what `cargo bench` exercises. This module is the single source of
+//! truth: a [`SearchScenario`] bundles a simulation with its search
+//! parameters and (when the instance has one) the rotation-symmetry
+//! canonicalizer derived by
+//! [`worm_core::symmetry::family_canonicalizer`]; a [`SimScenario`]
+//! bundles a simulation with the runner policy and cycle budget to
+//! drive it with.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use worm_core::paper::{fig1, fig2, fig3, generalized};
+use worm_core::symmetry::family_canonicalizer;
+use worm_core::CycleConstruction;
+use wormnet::topology::Mesh;
+use wormroute::algorithms::dimension_order;
+use wormsearch::{SearchConfig, SymmetryCanonicalizer};
+use wormsim::runner::ArbitrationPolicy;
+use wormsim::{traffic, MessageSpec, Sim};
+
+/// One named exhaustive-search workload.
+#[derive(Clone, Debug)]
+pub struct SearchScenario {
+    /// Stable scenario name (used as the JSON baseline key and the
+    /// Criterion benchmark id).
+    pub name: String,
+    /// The simulation to search.
+    pub sim: Sim,
+    /// Adversarial stall budget for the search.
+    pub stall_budget: u32,
+    /// State cap for the search.
+    pub max_states: usize,
+    /// The instance's rotation-symmetry canonicalizer, when the
+    /// derived group is non-trivial.
+    pub canon: Option<Arc<SymmetryCanonicalizer>>,
+}
+
+impl SearchScenario {
+    fn from_construction(
+        name: impl Into<String>,
+        c: &CycleConstruction,
+        specs: Vec<MessageSpec>,
+        stall_budget: u32,
+    ) -> Self {
+        let sim = Sim::new(&c.net, &c.table, specs, Some(1)).expect("family instances route");
+        let canon = family_canonicalizer(c, &sim);
+        SearchScenario {
+            name: name.into(),
+            sim,
+            stall_budget,
+            max_states: 20_000_000,
+            canon,
+        }
+    }
+
+    /// The plain (uncanonicalized) search configuration.
+    pub fn plain_config(&self) -> SearchConfig {
+        SearchConfig {
+            stall_budget: self.stall_budget,
+            max_states: self.max_states,
+            ..SearchConfig::default()
+        }
+    }
+
+    /// The canonicalized configuration, when the instance has a
+    /// non-trivial symmetry group.
+    pub fn canon_config(&self) -> Option<SearchConfig> {
+        let canon = self.canon.clone()?;
+        Some(self.plain_config().canonicalized(canon))
+    }
+}
+
+/// The standard search workloads: Figure 1, Figure 2, the six
+/// Figure 3 scenarios, and `G(1..=5)` — every instance the paper's
+/// reachability arguments cover, each searched at stall budget 0 (the
+/// base router model).
+pub fn search_scenarios() -> Vec<SearchScenario> {
+    let mut out = Vec::new();
+    let c = fig1::cyclic_dependency();
+    out.push(SearchScenario::from_construction(
+        "fig1",
+        &c,
+        c.message_specs(),
+        0,
+    ));
+    let c = fig2::two_message_deadlock();
+    out.push(SearchScenario::from_construction(
+        "fig2",
+        &c,
+        c.message_specs(),
+        0,
+    ));
+    for s in fig3::all_scenarios() {
+        let c = s.spec.build();
+        out.push(SearchScenario::from_construction(
+            format!("fig3_{}", s.name),
+            &c,
+            s.message_specs(&c),
+            0,
+        ));
+    }
+    for k in 1..=5 {
+        let c = generalized::generalized(k);
+        out.push(SearchScenario::from_construction(
+            format!("g{k}"),
+            &c,
+            generalized::minimum_length_specs(&c),
+            0,
+        ));
+    }
+    out
+}
+
+/// One named flit-level simulator workload.
+#[derive(Clone, Debug)]
+pub struct SimScenario {
+    /// Stable scenario name (used as the JSON baseline key and the
+    /// Criterion benchmark id).
+    pub name: String,
+    /// The simulation to run.
+    pub sim: Sim,
+    /// Arbitration policy for the runner.
+    pub policy: ArbitrationPolicy,
+    /// Cycle budget for one run.
+    pub max_cycles: u64,
+}
+
+/// The standard simulator workloads: uniform random traffic on meshes
+/// (the throughput case) and the Figure 1 construction under the
+/// adversarial arbiter (the contention case). Mirrors
+/// `benches/sim_bench.rs`.
+pub fn sim_scenarios() -> Vec<SimScenario> {
+    let mut out = Vec::new();
+    for side in [4usize, 6, 8] {
+        let mesh = Mesh::new(&[side, side]);
+        let table = dimension_order(&mesh).expect("routes");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let specs = traffic::uniform_random(mesh.network(), &table, &mut rng, 0.05, 100, (4, 8));
+        let sim = Sim::new(mesh.network(), &table, specs, None).expect("routed");
+        out.push(SimScenario {
+            name: format!("mesh_uniform_{side}x{side}"),
+            sim,
+            policy: ArbitrationPolicy::OldestFirst,
+            max_cycles: 1_000_000,
+        });
+    }
+    let con = fig1::cyclic_dependency();
+    let sim = Sim::new(&con.net, &con.table, con.message_specs(), Some(1)).expect("routed");
+    out.push(SimScenario {
+        name: "fig1_adversarial".into(),
+        sim,
+        policy: ArbitrationPolicy::Adversarial { favored: vec![] },
+        max_cycles: 10_000,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_scenarios_are_named_and_unique() {
+        let scenarios = search_scenarios();
+        assert_eq!(scenarios.len(), 2 + 6 + 5);
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len(), "duplicate scenario name");
+    }
+
+    #[test]
+    fn family_instances_carry_half_turn_canonicalizers() {
+        // Figure 1 and every G(k) have the [A, B, A, B] spec shape, so
+        // each must carry an order-1 (half-turn) canonicalizer.
+        for s in search_scenarios() {
+            if s.name == "fig1" || s.name.starts_with('g') {
+                let canon = s
+                    .canon
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{} should have a rotation symmetry", s.name));
+                assert_eq!(canon.order(), 1, "{}", s.name);
+                assert!(s.canon_config().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn sim_scenarios_run() {
+        for s in sim_scenarios() {
+            assert!(!s.name.is_empty());
+            assert!(s.max_cycles > 0);
+        }
+    }
+}

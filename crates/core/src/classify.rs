@@ -338,6 +338,7 @@ fn search_candidate(
         stall_budget: 0,
         max_states: opts.search_max_states,
         dead_channels: Vec::new(),
+        ..SearchConfig::default()
     };
     let result = if opts.search_threads == 1 {
         explore(&sim, &config)
@@ -384,6 +385,7 @@ pub fn candidate_reachable(
             stall_budget: 0,
             max_states: opts.search_max_states,
             dead_channels: Vec::new(),
+            ..SearchConfig::default()
         },
         move |_, state| {
             segments.iter().all(|(m, chans)| {

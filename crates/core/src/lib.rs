@@ -47,6 +47,7 @@ pub mod conditions;
 pub mod degraded;
 pub mod family;
 pub mod paper;
+pub mod symmetry;
 pub mod validate;
 
 pub use classify::{
@@ -55,3 +56,4 @@ pub use classify::{
 };
 pub use degraded::{classify_degraded, DegradedClassification};
 pub use family::{CycleConstruction, CycleMessageSpec, SharedCycleSpec};
+pub use symmetry::{family_canonicalizer, invariant_rotations, rotation_permutations};

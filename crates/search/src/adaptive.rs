@@ -174,16 +174,26 @@ impl Space for AdaptiveSpace<'_> {
     type State = AdaptiveState;
     type Key = AdaptiveState;
     type Decision = AdaptiveDecisions;
+    // Adaptive states double as keys, so there is nothing to pool or
+    // canonicalize per worker.
+    type Scratch = ();
+
+    fn scratch(&self) {}
 
     fn initial(&self) -> AdaptiveState {
         self.sim.initial_state()
     }
 
-    fn key(&self, state: &AdaptiveState) -> AdaptiveState {
+    fn key(&self, state: &AdaptiveState, _scratch: &mut ()) -> AdaptiveState {
         state.clone()
     }
 
-    fn successors(&self, state: &AdaptiveState, out: &mut Vec<(AdaptiveDecisions, AdaptiveState)>) {
+    fn successors(
+        &self,
+        state: &AdaptiveState,
+        out: &mut Vec<(AdaptiveDecisions, AdaptiveState)>,
+        _scratch: &mut (),
+    ) {
         for decision in decision_options(self.sim, state) {
             let mut next = state.clone();
             if !self.sim.step(&mut next, &decision) {

@@ -1,13 +1,21 @@
 //! The state-space exploration itself.
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use wormnet::ChannelId;
-use wormsim::{Decisions, MessageId, PackedState, Sim, SimState, StateCodec};
+use wormsim::{
+    Decisions, MessageId, PackedBuildHasher, PackedState, Sim, SimState, StateArena, StateCodec,
+    TranspositionCache,
+};
 
+use crate::canon::{CanonScratch, Canonicalizer};
 use crate::parallel::explore_parallel;
 use crate::verdict::{SearchMetrics, SearchResult, Verdict, Witness};
+
+/// Slots in the transposition cache fronting the visited set.
+const TCACHE_SLOTS: usize = 1 << 16;
 
 /// Search parameters.
 #[derive(Clone, Debug)]
@@ -29,6 +37,15 @@ pub struct SearchConfig {
     /// wait-for cycle", not "all messages delivered". Empty (the
     /// default) reproduces the fault-free search bit for bit.
     pub dead_channels: Vec<ChannelId>,
+    /// Optional symmetry canonicalizer: visited-set keys become orbit
+    /// representatives, so symmetric states are explored once (see
+    /// [`crate::canon`] for the verdict-invariance argument). `None`
+    /// (the default) keeps exact per-state keys and reproduces the
+    /// uncanonicalized search bit for bit; with a canonicalizer the
+    /// verdict is unchanged but the visited-state count shrinks by up
+    /// to the symmetry group's order, and a parallel witness may pass
+    /// through different (symmetric) representatives run to run.
+    pub canon: Option<Arc<dyn Canonicalizer>>,
 }
 
 impl Default for SearchConfig {
@@ -37,6 +54,7 @@ impl Default for SearchConfig {
             stall_budget: 0,
             max_states: 8_000_000,
             dead_channels: Vec::new(),
+            canon: None,
         }
     }
 }
@@ -57,6 +75,38 @@ impl SearchConfig {
             ..SearchConfig::default()
         }
     }
+
+    /// Builder-style: attach a symmetry canonicalizer.
+    pub fn canonicalized(mut self, canon: Arc<dyn Canonicalizer>) -> Self {
+        self.canon = Some(canon);
+        self
+    }
+
+    /// The configured canonicalizer, with identity filtered out (the
+    /// engines treat an identity canonicalizer exactly like `None`).
+    pub(crate) fn effective_canon(&self) -> Option<&dyn Canonicalizer> {
+        self.canon.as_deref().filter(|c| !c.is_identity())
+    }
+}
+
+/// Key a state for the visited set: canonical orbit key when a
+/// canonicalizer is active, plain packed key otherwise. Either way the
+/// pack-word buffer in `scratch` is reused, not reallocated.
+#[inline]
+pub(crate) fn state_key(
+    canon: Option<&dyn Canonicalizer>,
+    codec: &StateCodec,
+    state: &SimState,
+    budget: u32,
+    scratch: &mut CanonScratch,
+) -> PackedState {
+    match canon {
+        Some(c) => c.canonical_key(codec, state, budget, scratch),
+        None => {
+            let (_, buf) = scratch.parts();
+            codec.pack_into(state, budget, buf)
+        }
+    }
 }
 
 /// Exhaustively explore all adversary behaviours of `sim`.
@@ -68,14 +118,20 @@ impl SearchConfig {
 pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
     let start = Instant::now();
     let codec = StateCodec::new(sim, config.stall_budget);
+    let canon = config.effective_canon();
+    let mut scratch = CanonScratch::new();
+    let mut arena = StateArena::new();
+    let mut cache = TranspositionCache::new(TCACHE_SLOTS);
     let mut metrics = SearchMetrics {
         threads: 1,
         ..SearchMetrics::default()
     };
 
     let initial = sim.initial_state();
-    let mut visited: HashSet<PackedState> = HashSet::new();
-    visited.insert(codec.pack(&initial, config.stall_budget));
+    let mut visited: HashSet<PackedState, PackedBuildHasher> = HashSet::default();
+    let root_key = state_key(canon, &codec, &initial, config.stall_budget, &mut scratch);
+    cache.insert(root_key.clone());
+    visited.insert(root_key);
 
     struct Frame {
         state: SimState,
@@ -101,26 +157,40 @@ pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
 
     while let Some(frame) = stack.last_mut() {
         if frame.next >= frame.options.len() {
-            stack.pop();
+            if let Some(done) = stack.pop() {
+                arena.give(done.state);
+            }
             path.pop();
             continue;
         }
         let decision = frame.options[frame.next].clone();
         frame.next += 1;
 
-        let mut state = frame.state.clone();
+        let mut state = arena.take_clone(&frame.state);
         let report = sim.step(&mut state, &decision);
         if !report.moved {
             // Nothing happened: a pure self-loop (possibly burning
             // stall budget) — always dominated, skip.
+            arena.give(state);
             continue;
         }
         let budget = frame.budget - decision.stalls.len() as u32;
         metrics.dedup_lookups += 1;
-        if !visited.insert(codec.pack(&state, budget)) {
+        // The lossy cache fronts the visited set: a hit proves the key
+        // was inserted before, without probing the big table.
+        let key = state_key(canon, &codec, &state, budget, &mut scratch);
+        if cache.contains(&key) {
             metrics.dedup_hits += 1;
+            arena.give(state);
             continue;
         }
+        if !visited.insert(key.clone()) {
+            metrics.dedup_hits += 1;
+            cache.insert(key);
+            arena.give(state);
+            continue;
+        }
+        cache.insert(key);
         if visited.len() > config.max_states {
             let states = visited.len();
             return finish(
@@ -145,6 +215,7 @@ pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
         }
         if sim.all_delivered(&state) {
             // Terminal success state: no deadlock beyond here.
+            arena.give(state);
             path.pop();
             continue;
         }
@@ -169,6 +240,12 @@ pub fn explore(sim: &Sim, config: &SearchConfig) -> SearchResult {
 /// Used by `worm-core` to certify that a static deadlock candidate is
 /// an unreachable configuration in the paper's exact sense (not merely
 /// that no deadlock of any shape is reachable).
+///
+/// [`SearchConfig::canon`] is deliberately **ignored** here: the
+/// target predicate asks about one specific configuration, and an
+/// arbitrary predicate is not symmetry-invariant — quotienting the
+/// visited set could prune the exact state being asked about while
+/// keeping only its mirror.
 pub fn explore_until(
     sim: &Sim,
     config: &SearchConfig,
@@ -326,7 +403,7 @@ pub fn min_stall_budget(
             &SearchConfig {
                 stall_budget: budget,
                 max_states,
-                dead_channels: Vec::new(),
+                ..SearchConfig::default()
             },
         );
         let found = result.verdict.is_deadlock();
@@ -360,7 +437,7 @@ pub fn min_stall_budget_parallel(
             &SearchConfig {
                 stall_budget: budget,
                 max_states,
-                dead_channels: Vec::new(),
+                ..SearchConfig::default()
             },
             threads,
         );
@@ -605,7 +682,7 @@ mod tests {
             &SearchConfig {
                 stall_budget: 0,
                 max_states: 1,
-                dead_channels: Vec::new(),
+                ..SearchConfig::default()
             },
         );
         // With a 1-state budget we either found the deadlock very

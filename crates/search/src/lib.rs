@@ -81,7 +81,11 @@ mod parallel;
 mod verdict;
 
 pub mod adaptive;
+pub mod canon;
 
+pub use canon::{
+    CanonScratch, Canonicalizer, IdentityCanonicalizer, StatePermutation, SymmetryCanonicalizer,
+};
 pub use explore::{
     explore, explore_shortest, explore_until, min_stall_budget, min_stall_budget_parallel,
     render_witness, replay, SearchConfig,

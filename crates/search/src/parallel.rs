@@ -37,15 +37,16 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use wormnet::ChannelId;
-use wormsim::{Decisions, PackedState, Sim, SimState, StateCodec};
+use wormsim::{Decisions, PackedBuildHasher, PackedState, Sim, SimState, StateArena, StateCodec};
 
-use crate::explore::{decision_options, SearchConfig};
+use crate::canon::{CanonScratch, Canonicalizer};
+use crate::explore::{decision_options, state_key, SearchConfig};
 use crate::verdict::{SearchMetrics, SearchResult, Verdict, Witness};
 
 /// A state space the parallel engine can sweep: states, canonical
@@ -57,19 +58,91 @@ pub(crate) trait Space: Sync {
     type Key: Clone + Eq + Ord + Hash + Send;
     /// Edge label, recorded for witness reconstruction.
     type Decision: Clone + Ord + Send;
+    /// Per-worker scratch (state arenas, canonicalization buffers).
+    type Scratch: Send;
 
+    /// Fresh scratch for one worker.
+    fn scratch(&self) -> Self::Scratch;
     /// The root state.
     fn initial(&self) -> Self::State;
     /// Canonical key of a state.
-    fn key(&self, state: &Self::State) -> Self::Key;
+    fn key(&self, state: &Self::State, scratch: &mut Self::Scratch) -> Self::Key;
     /// All decision-labelled successors worth exploring (appended to
     /// `out`, which arrives empty).
-    fn successors(&self, state: &Self::State, out: &mut Vec<(Self::Decision, Self::State)>);
+    fn successors(
+        &self,
+        state: &Self::State,
+        out: &mut Vec<(Self::Decision, Self::State)>,
+        scratch: &mut Self::Scratch,
+    );
     /// Whether the state is a deadlock (search goal).
     fn is_deadlock(&self, state: &Self::State) -> bool;
     /// Whether the state is a success terminal (never expanded).
     fn is_terminal(&self, state: &Self::State) -> bool;
+    /// Hand back a state that will never be used again, so the space
+    /// can pool its buffers.
+    fn recycle(&self, _state: Self::State, _scratch: &mut Self::Scratch) {}
+    /// Whether keys are symmetry-orbit representatives rather than
+    /// exact encodings. Disables the same-layer parent min-merge: with
+    /// orbit keys, a min-merged edge could splice together decisions
+    /// taken from *different* orbit members, breaking witness replay.
+    /// Each key's parent edge then stays the one recorded at first
+    /// discovery — whose frontier state is exactly the state the
+    /// decision was applied to, so the chain still replays exactly
+    /// (but is schedule-dependent; verdicts and counts are not).
+    fn canonicalized(&self) -> bool {
+        false
+    }
 }
+
+/// A per-worker lossy membership cache fronting the sharded visited
+/// set (the transposition-cache idea from [`wormsim::TranspositionCache`],
+/// generalized over key types and made layer-aware).
+///
+/// Entries carry the BFS depth of the visited-set record; a hit is
+/// honoured only while draining a layer at or past that depth, i.e.
+/// only for keys whose parent record can no longer be min-merged
+/// (merging happens solely at `rec.depth == drain_depth + 1`). A valid
+/// hit therefore skips exactly a `dedup_hits` shard probe — the shared
+/// locks are never taken, and determinism is untouched.
+struct LayerCache<K> {
+    slots: Vec<Option<(K, u32)>>,
+    mask: u64,
+}
+
+impl<K: Hash + Eq + Clone> LayerCache<K> {
+    fn new(slot_count: usize) -> Self {
+        let n = slot_count.next_power_of_two().max(64);
+        LayerCache {
+            slots: vec![None; n],
+            mask: n as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: &K) -> usize {
+        (PackedBuildHasher.hash_one(key) & self.mask) as usize
+    }
+
+    /// A hit proves the key sits in the visited set at a depth that is
+    /// already min-merge-stable for the layer being drained.
+    #[inline]
+    fn hit(&self, key: &K, drain_depth: u32) -> bool {
+        match &self.slots[self.slot_of(key)] {
+            Some((k, depth)) => *depth <= drain_depth && k == key,
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn remember(&mut self, key: &K, depth: u32) {
+        let slot = self.slot_of(key);
+        self.slots[slot] = Some((key.clone(), depth));
+    }
+}
+
+/// Slots per worker in the parallel engine's [`LayerCache`].
+const WORKER_CACHE_SLOTS: usize = 1 << 14;
 
 /// Engine-level verdict, before domain-specific witness decoration.
 pub(crate) enum ParallelVerdict<D> {
@@ -154,7 +227,10 @@ pub(crate) fn search_parallel<S: Space>(
         .map(|_| Mutex::new(HashMap::new()))
         .collect();
 
-    let root_key = space.key(&initial);
+    let root_key = {
+        let mut root_scratch = space.scratch();
+        space.key(&initial, &mut root_scratch)
+    };
     shards[shard_of(&root_key, shard_mask)]
         .lock()
         .unwrap()
@@ -200,6 +276,9 @@ pub(crate) fn search_parallel<S: Space>(
                 let mut parity = 0usize;
                 let mut depth = 0u32;
                 let mut succ: Vec<(S::Decision, S::State)> = Vec::new();
+                let mut scratch = space.scratch();
+                let mut cache: LayerCache<S::Key> = LayerCache::new(WORKER_CACHE_SLOTS);
+                let min_merge = !space.canonicalized();
                 loop {
                     // Drain the current layer: own deque from the
                     // front, then other workers' from the back.
@@ -216,20 +295,34 @@ pub(crate) fn search_parallel<S: Space>(
                             }
                         }
                         let Some((key, state)) = item else { break };
+                        cache.remember(&key, depth);
                         succ.clear();
-                        space.successors(&state, &mut succ);
+                        space.successors(&state, &mut succ, &mut scratch);
+                        space.recycle(state, &mut scratch);
                         for (decision, child) in succ.drain(..) {
-                            let child_key = space.key(&child);
+                            let child_key = space.key(&child, &mut scratch);
                             dedup_lookups.fetch_add(1, Ordering::Relaxed);
+                            // Cache hit ⇒ the key is visited at a
+                            // min-merge-stable depth: skip the shard
+                            // lock entirely. Counters match the probe
+                            // the shard would have answered.
+                            if cache.hit(&child_key, depth) {
+                                dedup_hits.fetch_add(1, Ordering::Relaxed);
+                                space.recycle(child, &mut scratch);
+                                continue;
+                            }
                             let mut map = shards[shard_of(&child_key, shard_mask)].lock().unwrap();
                             match map.entry(child_key.clone()) {
                                 Entry::Occupied(mut seen) => {
                                     dedup_hits.fetch_add(1, Ordering::Relaxed);
                                     let rec = seen.get_mut();
+                                    let rec_depth = rec.depth;
                                     // Same-layer rediscovery: min-merge
                                     // the parent edge so the stored
-                                    // chain is schedule-independent.
-                                    if rec.depth == depth + 1 {
+                                    // chain is schedule-independent
+                                    // (skipped under canonicalization —
+                                    // see Space::canonicalized).
+                                    if min_merge && rec.depth == depth + 1 {
                                         let candidate = (key.clone(), decision);
                                         if let Some(existing) = &rec.parent {
                                             if candidate < *existing {
@@ -237,6 +330,9 @@ pub(crate) fn search_parallel<S: Space>(
                                             }
                                         }
                                     }
+                                    drop(map);
+                                    cache.remember(&child_key, rec_depth);
+                                    space.recycle(child, &mut scratch);
                                 }
                                 Entry::Vacant(slot) => {
                                     slot.insert(ParentRec {
@@ -244,10 +340,12 @@ pub(crate) fn search_parallel<S: Space>(
                                         parent: Some((key.clone(), decision)),
                                     });
                                     drop(map);
+                                    cache.remember(&child_key, depth + 1);
                                     visited.fetch_add(1, Ordering::Relaxed);
                                     if space.is_deadlock(&child) {
                                         goal_seen.store(true, Ordering::Relaxed);
                                         goals.lock().unwrap().push(child_key);
+                                        space.recycle(child, &mut scratch);
                                     } else if !space.is_terminal(&child)
                                         && !goal_seen.load(Ordering::Relaxed)
                                     {
@@ -263,6 +361,8 @@ pub(crate) fn search_parallel<S: Space>(
                                             .lock()
                                             .unwrap()
                                             .push_back((child_key, child));
+                                    } else {
+                                        space.recycle(child, &mut scratch);
                                     }
                                 }
                             }
@@ -359,28 +459,56 @@ struct ObliviousSpace<'a> {
     codec: StateCodec,
     budget: u32,
     dead: Vec<ChannelId>,
+    canon: Option<Arc<dyn Canonicalizer>>,
+}
+
+/// Per-worker buffers for [`ObliviousSpace`]: a state pool plus
+/// canonical-key scratch.
+struct ObliviousScratch {
+    arena: StateArena,
+    canon: CanonScratch,
 }
 
 impl Space for ObliviousSpace<'_> {
     type State = (SimState, u32);
     type Key = PackedState;
     type Decision = Decisions;
+    type Scratch = ObliviousScratch;
+
+    fn scratch(&self) -> ObliviousScratch {
+        ObliviousScratch {
+            arena: StateArena::new(),
+            canon: CanonScratch::new(),
+        }
+    }
 
     fn initial(&self) -> Self::State {
         (self.sim.initial_state(), self.budget)
     }
 
-    fn key(&self, (state, budget): &Self::State) -> PackedState {
-        self.codec.pack(state, *budget)
+    fn key(&self, (state, budget): &Self::State, scratch: &mut ObliviousScratch) -> PackedState {
+        state_key(
+            self.canon.as_deref(),
+            &self.codec,
+            state,
+            *budget,
+            &mut scratch.canon,
+        )
     }
 
-    fn successors(&self, (state, budget): &Self::State, out: &mut Vec<(Decisions, Self::State)>) {
+    fn successors(
+        &self,
+        (state, budget): &Self::State,
+        out: &mut Vec<(Decisions, Self::State)>,
+        scratch: &mut ObliviousScratch,
+    ) {
         for decision in decision_options(self.sim, state, *budget, &self.dead) {
-            let mut next = state.clone();
+            let mut next = scratch.arena.take_clone(state);
             let report = self.sim.step(&mut next, &decision);
             if !report.moved {
                 // Pure self-loop (possibly burning stall budget):
                 // always dominated, skip — mirrors the sequential DFS.
+                scratch.arena.give(next);
                 continue;
             }
             let next_budget = *budget - decision.stalls.len() as u32;
@@ -395,6 +523,14 @@ impl Space for ObliviousSpace<'_> {
     fn is_terminal(&self, (state, _): &Self::State) -> bool {
         self.sim.all_delivered(state)
     }
+
+    fn recycle(&self, (state, _): Self::State, scratch: &mut ObliviousScratch) {
+        scratch.arena.give(state);
+    }
+
+    fn canonicalized(&self) -> bool {
+        self.canon.is_some()
+    }
 }
 
 /// Parallel equivalent of [`crate::explore`]: identical verdicts, a
@@ -408,6 +544,7 @@ pub fn explore_parallel(sim: &Sim, config: &SearchConfig, threads: usize) -> Sea
         codec: StateCodec::new(sim, config.stall_budget),
         budget: config.stall_budget,
         dead: config.dead_channels.clone(),
+        canon: config.canon.clone().filter(|c| !c.is_identity()),
     };
     let outcome = search_parallel(&space, config.max_states, threads);
     let verdict = match outcome.verdict {
@@ -508,7 +645,7 @@ mod tests {
         let config = SearchConfig {
             stall_budget: 1,
             max_states: 2,
-            dead_channels: Vec::new(),
+            ..SearchConfig::default()
         };
         let result = explore_parallel(&sim, &config, 4);
         match result.verdict {

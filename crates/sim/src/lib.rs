@@ -61,6 +61,7 @@ mod message;
 mod state;
 
 pub mod adaptive;
+pub mod arena;
 pub mod hooks;
 pub mod packed;
 pub mod runner;
@@ -69,8 +70,9 @@ pub mod stats;
 pub mod trace;
 pub mod traffic;
 
+pub use arena::StateArena;
 pub use engine::{Decisions, Sim, StepReport};
 pub use error::SimError;
 pub use message::{MessageId, MessageSpec};
-pub use packed::{PackedState, StateCodec};
+pub use packed::{PackedBuildHasher, PackedState, StateCodec, TranspositionCache};
 pub use state::{ChannelOcc, SimState};

@@ -24,6 +24,8 @@
 //! on packed words to pick a canonical witness among equally-shallow
 //! deadlock states, independent of thread scheduling.
 
+use std::hash::{BuildHasher, Hash, Hasher};
+
 use crate::engine::Sim;
 use crate::state::{ChannelOcc, SimState};
 use crate::MessageId;
@@ -50,16 +52,18 @@ pub enum PackedState {
 }
 
 impl PackedState {
-    fn from_words(words: Vec<u64>) -> Self {
+    /// Build a key by copying from a word slice (the slice can be a
+    /// reused scratch buffer; only the spill case allocates).
+    fn from_word_slice(words: &[u64]) -> Self {
         if words.len() <= INLINE_WORDS {
             let mut inline = [0u64; INLINE_WORDS];
-            inline[..words.len()].copy_from_slice(&words);
+            inline[..words.len()].copy_from_slice(words);
             PackedState::Inline {
                 len: words.len() as u8,
                 words: inline,
             }
         } else {
-            PackedState::Heap(words.into_boxed_slice())
+            PackedState::Heap(words.to_vec().into_boxed_slice())
         }
     }
 
@@ -81,15 +85,18 @@ fn bits_for(values: u64) -> u32 {
     }
 }
 
-struct BitWriter {
-    words: Vec<u64>,
+/// Bit-level writer into a caller-owned word buffer, so the hot path
+/// can reuse one allocation across millions of packs.
+struct BitWriter<'a> {
+    words: &'a mut Vec<u64>,
     bits_used: u32,
 }
 
-impl BitWriter {
-    fn with_capacity(words: usize) -> Self {
+impl<'a> BitWriter<'a> {
+    fn new(words: &'a mut Vec<u64>) -> Self {
+        words.clear();
         BitWriter {
-            words: Vec::with_capacity(words),
+            words,
             bits_used: 64,
         }
     }
@@ -220,8 +227,19 @@ impl StateCodec {
 
     /// Pack `(state, budget)` into its canonical key.
     pub fn pack(&self, state: &SimState, budget: u32) -> PackedState {
+        let mut buf = Vec::with_capacity(self.words);
+        self.pack_into(state, budget, &mut buf)
+    }
+
+    /// [`StateCodec::pack`] into a reusable scratch buffer.
+    ///
+    /// Produces exactly the same key as `pack`; `buf` is cleared and
+    /// refilled, so a caller packing millions of states can amortize
+    /// the word-buffer allocation down to zero (the returned key still
+    /// copies the words, inline for typical scenarios).
+    pub fn pack_into(&self, state: &SimState, budget: u32, buf: &mut Vec<u64>) -> PackedState {
         let empty = self.message_count as u64;
-        let mut w = BitWriter::with_capacity(self.words);
+        let mut w = BitWriter::new(buf);
         w.push(budget as u64, self.budget_bits);
         for &ci in &self.relevant {
             match state.channels[ci as usize] {
@@ -241,7 +259,7 @@ impl StateCodec {
             w.push(state.injected[i] as u64, self.flit_bits);
             w.push(state.consumed[i] as u64, self.flit_bits);
         }
-        PackedState::from_words(w.words)
+        PackedState::from_word_slice(buf)
     }
 
     /// Invert [`StateCodec::pack`]: reconstruct the state and budget.
@@ -273,6 +291,181 @@ impl StateCodec {
     }
 }
 
+/// Multiplier from the Firefox/rustc "fx" hash: a single odd constant
+/// with well-mixed bits.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast non-cryptographic [`Hasher`] tuned for [`PackedState`] keys.
+///
+/// Packed keys are already near-uniform bit soup (minimal-width fields
+/// densely concatenated), so the default SipHash's flooding resistance
+/// buys nothing here while costing most of a visited-set probe. This
+/// is the rustc "fx" construction: rotate, xor, multiply per word.
+#[derive(Clone, Debug, Default)]
+pub struct PackedHasher {
+    hash: u64,
+}
+
+impl PackedHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for PackedHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`PackedHasher`]; plug into `HashSet`/`HashMap`
+/// holding [`PackedState`] keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PackedBuildHasher;
+
+impl BuildHasher for PackedBuildHasher {
+    type Hasher = PackedHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> PackedHasher {
+        PackedHasher::default()
+    }
+}
+
+/// Hash a packed key with the fast [`PackedHasher`].
+#[inline]
+fn fx_hash(key: &PackedState) -> u64 {
+    let mut h = PackedHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// A lossy, direct-mapped membership cache over [`PackedState`] keys.
+///
+/// The exhaustive searches keep their ground-truth visited set in a
+/// (possibly lock-sharded) hash table; this transposition-style cache
+/// sits *in front* of it, answering the common "seen this key already"
+/// probe without touching the big table. It is deliberately one-way:
+/// a hit means the key is **definitely** in the set the caller fed via
+/// [`TranspositionCache::insert`]; a miss means nothing. Collisions
+/// simply overwrite (direct-mapped, power-of-two slots), so the cache
+/// never grows and never needs eviction bookkeeping.
+///
+/// ```
+/// use wormsim::packed::TranspositionCache;
+/// use wormsim::{MessageSpec, Sim, StateCodec};
+/// use wormnet::topology::line;
+/// use wormroute::algorithms::shortest_path_table;
+///
+/// let (net, nodes) = line(3);
+/// let table = shortest_path_table(&net).unwrap();
+/// let sim = Sim::new(&net, &table, vec![MessageSpec::new(nodes[0], nodes[2], 2)], Some(1)).unwrap();
+/// let codec = StateCodec::new(&sim, 0);
+/// let key = codec.pack(&sim.initial_state(), 0);
+///
+/// let mut cache = TranspositionCache::new(1024);
+/// assert!(!cache.contains(&key)); // cold
+/// cache.insert(key.clone());
+/// assert!(cache.contains(&key)); // warm
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.lookups(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TranspositionCache {
+    slots: Vec<Option<PackedState>>,
+    mask: u64,
+    hits: u64,
+    lookups: u64,
+}
+
+impl TranspositionCache {
+    /// Create a cache with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 64).
+    pub fn new(capacity: usize) -> Self {
+        let slots = capacity.next_power_of_two().max(64);
+        TranspositionCache {
+            slots: vec![None; slots],
+            mask: slots as u64 - 1,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: &PackedState) -> usize {
+        (fx_hash(key) & self.mask) as usize
+    }
+
+    /// Whether `key` is cached (counted as a lookup; hits counted too).
+    #[inline]
+    pub fn contains(&mut self, key: &PackedState) -> bool {
+        self.lookups += 1;
+        let hit = self.slots[self.slot_of(key)].as_ref() == Some(key);
+        if hit {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Remember `key`, evicting whatever shared its slot.
+    #[inline]
+    pub fn insert(&mut self, key: PackedState) {
+        let slot = self.slot_of(&key);
+        self.slots[slot] = Some(key);
+    }
+
+    /// Number of probes answered positively so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total number of probes so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +484,8 @@ mod tests {
 
     #[test]
     fn bit_writer_reader_round_trip() {
-        let mut w = BitWriter::with_capacity(2);
+        let mut buf = Vec::new();
+        let mut w = BitWriter::new(&mut buf);
         let fields: Vec<(u64, u32)> = vec![
             (3, 2),
             (0, 0),
@@ -304,10 +498,71 @@ mod tests {
         for &(v, b) in &fields {
             w.push(v, b);
         }
-        let mut r = BitReader::new(&w.words);
+        let mut r = BitReader::new(&buf);
         for &(v, b) in &fields {
             assert_eq!(r.pull(b), v, "field width {b}");
         }
+    }
+
+    #[test]
+    fn pack_into_matches_pack_and_reuses_buffer() {
+        let sim = ring_sim();
+        let codec = StateCodec::new(&sim, 2);
+        let mut state = sim.initial_state();
+        let inject_all = Decisions {
+            inject: sim.messages().collect(),
+            ..Decisions::default()
+        };
+        let idle = Decisions::default();
+        let mut buf = Vec::new();
+        for cycle in 0..5 {
+            let via_buf = codec.pack_into(&state, 2, &mut buf);
+            assert_eq!(via_buf, codec.pack(&state, 2), "cycle {cycle}");
+            sim.step(&mut state, if cycle == 0 { &inject_all } else { &idle });
+        }
+        assert!(buf.capacity() >= codec.packed_words());
+    }
+
+    #[test]
+    fn packed_hasher_agrees_with_itself_and_separates_keys() {
+        let sim = ring_sim();
+        let codec = StateCodec::new(&sim, 3);
+        let a = codec.pack(&sim.initial_state(), 3);
+        let b = codec.pack(&sim.initial_state(), 2);
+        assert_eq!(fx_hash(&a), fx_hash(&a));
+        assert_ne!(fx_hash(&a), fx_hash(&b), "distinct keys should separate");
+
+        use std::collections::HashSet;
+        let mut set: HashSet<PackedState, PackedBuildHasher> = HashSet::default();
+        set.insert(a.clone());
+        assert!(set.contains(&a));
+        assert!(!set.contains(&b));
+    }
+
+    #[test]
+    fn transposition_cache_never_false_positives() {
+        let sim = ring_sim();
+        let codec = StateCodec::new(&sim, 0);
+        let mut cache = TranspositionCache::new(8);
+        let mut truth = std::collections::HashSet::new();
+
+        // Walk a few states; every cache hit must be in the truth set.
+        let mut state = sim.initial_state();
+        let inject_all = Decisions {
+            inject: sim.messages().collect(),
+            ..Decisions::default()
+        };
+        let idle = Decisions::default();
+        for cycle in 0..12 {
+            let key = codec.pack(&state, 0);
+            if cache.contains(&key) {
+                assert!(truth.contains(&key), "cycle {cycle}: false positive");
+            }
+            cache.insert(key.clone());
+            truth.insert(key);
+            sim.step(&mut state, if cycle == 0 { &inject_all } else { &idle });
+        }
+        assert!(cache.lookups() >= 12);
     }
 
     #[test]

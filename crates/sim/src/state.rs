@@ -67,6 +67,20 @@ impl SimState {
         }
     }
 
+    /// Overwrite `self` with `src`, reusing the existing allocations.
+    ///
+    /// Equivalent to `*self = src.clone()` but keeps the three vector
+    /// buffers (the derived `Clone` has no specialized `clone_from`,
+    /// so plain cloning reallocates). Within one search every state
+    /// has the same dimensions, so this never reallocates after the
+    /// first use of a buffer.
+    #[inline]
+    pub fn copy_from(&mut self, src: &SimState) {
+        self.channels.clone_from(&src.channels);
+        self.injected.clone_from(&src.injected);
+        self.consumed.clone_from(&src.consumed);
+    }
+
     /// Whether message `m` has started injecting.
     #[inline]
     pub fn is_started(&self, m: MessageId) -> bool {

@@ -116,7 +116,10 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        let measure = args.iter().any(|a| a == "--bench");
+        // Like real criterion: `--test` (as in `cargo bench -- --test`)
+        // forces a single smoke iteration per benchmark even though
+        // cargo also passes `--bench`.
+        let measure = args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test");
         let filter = args
             .iter()
             .find(|a| !a.starts_with("--") && *a != "ignored")

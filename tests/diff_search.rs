@@ -86,6 +86,7 @@ proptest! {
             stall_budget: budget,
             max_states: 400_000,
             dead_channels: Vec::new(),
+            ..SearchConfig::default()
         };
         let seq = explore(&sim, &config);
         let par = explore_parallel(&sim, &config, 4);
@@ -156,6 +157,7 @@ proptest! {
             stall_budget: budget,
             max_states: 400_000,
             dead_channels: Vec::new(),
+            ..SearchConfig::default()
         };
         let reference = explore_parallel(&sim, &config, 1);
         for threads in [2, 5] {
@@ -273,6 +275,7 @@ fn tiny_state_cap_is_inconclusive_with_count() {
         stall_budget: 0,
         max_states: 4,
         dead_channels: Vec::new(),
+        ..SearchConfig::default()
     };
     for result in [explore(&sim, &config), explore_parallel(&sim, &config, 4)] {
         let Verdict::Inconclusive { states_visited } = result.verdict else {

@@ -1,0 +1,215 @@
+//! Link checker for the documentation set: every relative link in
+//! README.md, EXPERIMENTS.md, CHANGES.md and docs/*.md must point at
+//! a file that exists, and every `#fragment` must match a heading
+//! anchor (GitHub slug rules) in the target document.
+//!
+//! External (`http://`, `https://`, `mailto:`) targets are out of
+//! scope — the build environment is offline — but their syntax is
+//! still traversed, so malformed link markup fails the test too.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The documentation files under check. `docs/*.md` is globbed at
+/// runtime so new documents are covered automatically.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = vec![
+        root.join("README.md"),
+        root.join("EXPERIMENTS.md"),
+        root.join("CHANGES.md"),
+    ];
+    let docs = root.join("docs");
+    if let Ok(entries) = fs::read_dir(&docs) {
+        let mut extra: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .collect();
+        extra.sort();
+        files.extend(extra);
+    }
+    files
+}
+
+/// Strip fenced code blocks (``` ... ```): links and headings inside
+/// them are examples, not navigation.
+fn strip_code_fences(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// GitHub's heading-anchor slug: lowercase; spaces become hyphens;
+/// alphanumerics, hyphens and underscores survive; everything else is
+/// dropped.
+fn slugify(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Remove inline markup (`code`, **bold**, [text](url)) from a
+/// heading before slugification, matching how GitHub anchors render.
+fn heading_text(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '`' | '*' => {}
+            '[' => {}
+            ']' => {
+                // Skip a following "(url)" if present.
+                if chars.peek() == Some(&'(') {
+                    for c in chars.by_ref() {
+                        if c == ')' {
+                            break;
+                        }
+                    }
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// All heading anchors of a markdown document, with GitHub's `-N`
+/// suffixing for duplicates.
+fn anchors(text: &str) -> Vec<String> {
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut out = Vec::new();
+    for line in strip_code_fences(text).lines() {
+        let hashes = line.chars().take_while(|&c| c == '#').count();
+        if !(1..=6).contains(&hashes) || !line[hashes..].starts_with(' ') {
+            continue;
+        }
+        let slug = slugify(&heading_text(&line[hashes + 1..]));
+        let n = seen.entry(slug.clone()).or_insert(0);
+        out.push(if *n == 0 {
+            slug.clone()
+        } else {
+            format!("{slug}-{n}")
+        });
+        *n += 1;
+    }
+    out
+}
+
+/// Extract `(text, target)` pairs for every inline markdown link.
+fn links(text: &str) -> Vec<String> {
+    let stripped = strip_code_fences(text);
+    let bytes = stripped.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'[' {
+            // Find the matching close bracket (no nesting in our docs).
+            if let Some(close) = stripped[i + 1..].find(']').map(|p| i + 1 + p) {
+                if bytes.get(close + 1) == Some(&b'(') {
+                    if let Some(end) = stripped[close + 2..].find(')').map(|p| close + 2 + p) {
+                        out.push(stripped[close + 2..end].to_string());
+                        i = end + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn all_relative_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut errors = Vec::new();
+    let files = doc_files(root);
+    assert!(files.len() >= 3, "doc set unexpectedly small");
+    for file in &files {
+        let text = fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let dir = file.parent().unwrap();
+        for target in links(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, fragment) = match target.split_once('#') {
+                Some((p, f)) => (p, Some(f)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if path_part.is_empty() {
+                file.clone()
+            } else {
+                dir.join(path_part)
+            };
+            if !resolved.exists() {
+                errors.push(format!(
+                    "{}: broken link `{target}` (no such file {})",
+                    file.display(),
+                    resolved.display()
+                ));
+                continue;
+            }
+            if let Some(fragment) = fragment {
+                let is_md = resolved.extension().is_some_and(|e| e == "md");
+                if !is_md {
+                    continue;
+                }
+                let dest = fs::read_to_string(&resolved).unwrap();
+                if !anchors(&dest).iter().any(|a| a == fragment) {
+                    errors.push(format!(
+                        "{}: broken anchor `{target}` (no heading slug `{fragment}` in {})",
+                        file.display(),
+                        resolved.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        errors.is_empty(),
+        "broken documentation links:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn slugs_follow_github_rules() {
+    assert_eq!(slugify("Search hot path"), "search-hot-path");
+    assert_eq!(slugify("The `wormbench/1` schema"), "the-wormbench1-schema");
+    assert_eq!(slugify("G(k): Section 6"), "gk-section-6");
+    assert_eq!(
+        heading_text("`exp_faults` — [fault](docs/FAULTS.md) layer"),
+        "exp_faults — fault layer"
+    );
+}
+
+#[test]
+fn duplicate_headings_get_numeric_suffixes() {
+    let text = "# Same\n\n# Same\n\n# Same\n";
+    assert_eq!(anchors(text), vec!["same", "same-1", "same-2"]);
+}

@@ -180,6 +180,7 @@ fn empty_dead_channel_set_leaves_search_verdicts_identical() {
                 stall_budget: 0,
                 max_states: 300_000,
                 dead_channels: Vec::new(),
+                ..SearchConfig::default()
             },
         );
         // Same budgets through the `with_dead_channels` constructor.
