@@ -13,12 +13,17 @@
 //! * [`scenarios`] — the named search/simulator workloads shared by
 //!   the Criterion suites and the `bench_report` harness;
 //! * [`bench_report`] — the headless runner behind the committed
-//!   `wormbench/1` baselines (see `docs/PERFORMANCE.md`).
+//!   `wormbench/1` baselines (see `docs/PERFORMANCE.md`);
+//! * [`lintcorpus`] — the named lint targets with expected verdicts
+//!   behind the `wormlint` binary and the committed `LINT_corpus.json`
+//!   snapshot (see `docs/LINTS.md`).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod args;
 pub mod bench_report;
+pub mod lintcorpus;
 pub mod report;
 pub mod scenarios;
 pub mod trace;

@@ -1,0 +1,209 @@
+//! The built-in `wormlint` corpus: every paper construction plus
+//! reference topologies, each with its *expected* static verdict and
+//! exact expected lint-code set.
+//!
+//! The `wormlint` binary (`src/bin/wormlint.rs`) runs the registry
+//! over this corpus and exits nonzero when reality drifts from the
+//! expectations — that is the CI lint gate. The committed
+//! `LINT_corpus.json` golden snapshot (byte-compared by
+//! `tests/lint_snapshots.rs` and CI) pins the full diagnostic output;
+//! the expectations here pin the *meaning* so a drift shows up as a
+//! readable "fig3_c: verdict free-cyclic != expected deadlockable"
+//! instead of a JSON diff.
+
+use wormlint::{LintConfig, LintReport, Registry, StaticVerdict};
+use wormnet::topology::{ring_unidirectional, ring_with_vcs, Mesh};
+use wormnet::Network;
+use wormroute::algorithms::{clockwise_ring, dateline_ring, dimension_order};
+use wormroute::TableRouting;
+
+use worm_core::paper::{fig1, fig2, fig3, generalized};
+
+/// One named corpus target with its expectations.
+pub struct LintTarget {
+    /// Stable target name (the JSON key; sorted unique across the
+    /// corpus).
+    pub name: String,
+    /// The network under analysis.
+    pub net: Network,
+    /// The routing table under analysis.
+    pub table: TableRouting,
+    /// The static verdict the analysis must reach.
+    pub expected_verdict: StaticVerdict,
+    /// The exact set of lint codes expected to fire (sorted, unique).
+    pub expected_codes: Vec<&'static str>,
+}
+
+impl LintTarget {
+    fn new(
+        name: impl Into<String>,
+        net: Network,
+        table: TableRouting,
+        expected_verdict: StaticVerdict,
+        expected_codes: &[&'static str],
+    ) -> Self {
+        LintTarget {
+            name: name.into(),
+            net,
+            table,
+            expected_verdict,
+            expected_codes: expected_codes.to_vec(),
+        }
+    }
+
+    /// Run the registry over this target.
+    pub fn run(&self, registry: &Registry, config: &LintConfig) -> LintReport {
+        registry.run(&self.net, &self.table, config)
+    }
+
+    /// Expectation failures for a report over this target (empty =
+    /// pass). Checks the verdict, the exact fired-code set, and that
+    /// no `Deny`-severity diagnostic carries an unexpected code.
+    pub fn check(&self, report: &LintReport) -> Vec<String> {
+        let mut failures = Vec::new();
+        if report.verdict != self.expected_verdict {
+            failures.push(format!(
+                "{}: verdict {} != expected {}",
+                self.name, report.verdict, self.expected_verdict
+            ));
+        }
+        let actual: Vec<&'static str> = report.counts_by_code().into_keys().collect();
+        if actual != self.expected_codes {
+            failures.push(format!(
+                "{}: fired codes {actual:?} != expected {:?}",
+                self.name, self.expected_codes
+            ));
+        }
+        for d in &report.diagnostics {
+            if d.severity == wormlint::Severity::Deny && !self.expected_codes.contains(&d.code) {
+                failures.push(format!("{}: unexpected deny {}", self.name, d.code));
+            }
+        }
+        failures
+    }
+}
+
+/// The full corpus, sorted by name: Figure 1, Figure 2, the six
+/// Figure 3 scenarios, `G(1..=5)`, and three reference specs (DOR on a
+/// 3×3 mesh, the clockwise unidirectional 4-ring, and an 8-ring under
+/// two-lane dateline routing).
+pub fn corpus() -> Vec<LintTarget> {
+    let mut out = Vec::new();
+
+    let c = fig1::cyclic_dependency();
+    out.push(LintTarget::new(
+        "fig1",
+        c.net,
+        c.table,
+        StaticVerdict::Undecided,
+        &["W101", "W102", "W103", "W201", "W207"],
+    ));
+
+    let c = fig2::two_message_deadlock();
+    out.push(LintTarget::new(
+        "fig2",
+        c.net,
+        c.table,
+        StaticVerdict::Deadlockable,
+        &["W101", "W102", "W103", "W201", "W203"],
+    ));
+
+    for s in fig3::all_scenarios() {
+        let c = s.spec.build();
+        let (verdict, codes): (_, &[&'static str]) = if s.paper_unreachable {
+            (
+                StaticVerdict::FreeCyclic,
+                &["W101", "W102", "W103", "W201", "W204"],
+            )
+        } else {
+            (
+                StaticVerdict::Deadlockable,
+                &["W101", "W102", "W103", "W201", "W205"],
+            )
+        };
+        out.push(LintTarget::new(
+            format!("fig3_{}", s.name),
+            c.net,
+            c.table,
+            verdict,
+            codes,
+        ));
+    }
+
+    for k in 1..=5 {
+        let c = generalized::generalized(k);
+        out.push(LintTarget::new(
+            format!("g{k}"),
+            c.net,
+            c.table,
+            StaticVerdict::Undecided,
+            &["W101", "W102", "W103", "W201", "W207"],
+        ));
+    }
+
+    let mesh = Mesh::new(&[3, 3]);
+    let table = dimension_order(&mesh).expect("DOR routes the mesh");
+    out.push(LintTarget::new(
+        "mesh_3x3_dor",
+        mesh.into_network(),
+        table,
+        StaticVerdict::FreeAcyclic,
+        &["W105"],
+    ));
+
+    let (net, nodes) = ring_unidirectional(4);
+    let table = clockwise_ring(&net, &nodes).expect("clockwise routes the ring");
+    out.push(LintTarget::new(
+        "ring4_clockwise",
+        net,
+        table,
+        StaticVerdict::Deadlockable,
+        &["W105", "W201", "W202"],
+    ));
+
+    let (net, nodes) = ring_with_vcs(8, 2);
+    let table = dateline_ring(&net, &nodes).expect("dateline routes the ring");
+    out.push(LintTarget::new(
+        "ring8_dateline",
+        net,
+        table,
+        StaticVerdict::FreeAcyclic,
+        &["W004", "W102"],
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_sorted_unique_and_expectations_hold() {
+        let targets = corpus();
+        let names: Vec<&str> = targets.iter().map(|t| t.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, names, "corpus must be sorted by unique name");
+
+        let registry = Registry::with_default_lints();
+        let config = LintConfig::default();
+        let mut failures = Vec::new();
+        for t in &targets {
+            let report = t.run(&registry, &config);
+            failures.extend(t.check(&report));
+        }
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn expected_code_lists_are_sorted() {
+        for t in corpus() {
+            let mut sorted = t.expected_codes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted, t.expected_codes, "{}", t.name);
+        }
+    }
+}

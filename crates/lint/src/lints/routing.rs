@@ -1,0 +1,392 @@
+//! `W1xx`: routing-function properties (Definitions 7–9, minimality,
+//! Corollary 1's `R : N × N → C` form).
+//!
+//! The boolean predicates live in `wormroute::properties`; the lints
+//! here re-walk the table to extract *witnesses* — the first concrete
+//! violation in deterministic table order — alongside the totals.
+
+use crate::context::LintContext;
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::lint::Lint;
+use crate::lints::{pair_ref, walk};
+
+/// `W101`: paths longer than the shortest path for their pair.
+pub struct NonMinimalRoute;
+
+impl Lint for NonMinimalRoute {
+    fn code(&self) -> &'static str {
+        "W101"
+    }
+    fn name(&self) -> &'static str {
+        "non-minimal-route"
+    }
+    fn description(&self) -> &'static str {
+        "a detour past the shortest path; deliberate in the paper's constructions (Theorem 3 rules out minimal variants) but a red flag in production specs"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Section 1 (minimal routing); Theorem 3"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let mut count = 0usize;
+        let mut worst: Option<((wormnet::NodeId, wormnet::NodeId), usize, usize)> = None;
+        for (&pair, path) in ctx.table.iter() {
+            let Some(dist) = ctx.net.hop_distance(pair.0, pair.1) else {
+                continue; // W003 reports disconnection
+            };
+            if path.len() > dist {
+                count += 1;
+                if worst.is_none_or(|(_, len, d)| path.len() - dist > len - d) {
+                    worst = Some((pair, path.len(), dist));
+                }
+            }
+        }
+        let Some((pair, len, dist)) = worst else {
+            return Vec::new();
+        };
+        vec![Diagnostic::new(
+            self.code(),
+            self.name(),
+            severity,
+            format!(
+                "{count} of {} routed pair(s) take non-minimal paths (worst: {} uses {len} channels, distance {dist})",
+                ctx.table.len(),
+                pair_ref(ctx.net, pair),
+            ),
+        )
+        .entity("pair", pair_ref(ctx.net, pair))
+        .fact("nonminimal_pairs", count)
+        .fact("worst_pair", pair_ref(ctx.net, pair))
+        .fact("worst_path", walk(ctx.net, ctx.table.path(pair.0, pair.1).expect("routed")))
+        .fact("worst_path_len", len)
+        .fact("worst_distance", dist)]
+    }
+}
+
+/// `W102`: Definition 8 violations — a path's suffix from an
+/// intermediate node differs from (or is missing as) the registered
+/// path for that node.
+pub struct SuffixClosureViolation;
+
+impl Lint for SuffixClosureViolation {
+    fn code(&self) -> &'static str {
+        "W102"
+    }
+    fn name(&self) -> &'static str {
+        "suffix-closure-violation"
+    }
+    fn description(&self) -> &'static str {
+        "without suffix-closure, Corollary 2's guarantee (no false resource cycles) is forfeited: a cyclic CDG no longer implies a reachable deadlock"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Definition 8; Corollary 2"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let mut count = 0usize;
+        let mut first: Option<Diagnostic> = None;
+        for (&(src, dst), path) in ctx.table.iter() {
+            let nodes = path.nodes(ctx.net);
+            let interior = nodes.iter().enumerate().take(nodes.len() - 1).skip(1);
+            for (pos, &v) in interior {
+                if v == dst {
+                    continue; // the suffix from dst is empty
+                }
+                let suffix = path.suffix_from_pos(pos).expect("interior position");
+                let registered = ctx.table.path(v, dst);
+                if registered == Some(&suffix) {
+                    continue;
+                }
+                count += 1;
+                if first.is_none() {
+                    first = Some(
+                        Diagnostic::new(self.code(), self.name(), severity, String::new())
+                            .entity("pair", pair_ref(ctx.net, (src, dst)))
+                            .entity("node", ctx.net.node_name(v))
+                            .fact("pair", pair_ref(ctx.net, (src, dst)))
+                            .fact("via", ctx.net.node_name(v))
+                            .fact("path", walk(ctx.net, path))
+                            .fact("expected_suffix", walk(ctx.net, &suffix))
+                            .fact(
+                                "registered",
+                                registered
+                                    .map(|p| walk(ctx.net, p))
+                                    .unwrap_or_else(|| "unrouted".to_string()),
+                            ),
+                    );
+                }
+            }
+        }
+        let Some(mut d) = first else {
+            return Vec::new();
+        };
+        d.message = format!(
+            "routing is not suffix-closed: {count} violation(s); e.g. the path for {} passes {} but {} is routed differently",
+            d.witness["pair"], d.witness["via"], d.witness["via"],
+        );
+        d = d.fact("violations", count);
+        vec![d]
+    }
+}
+
+/// `W103`: Definition 7 violations — the registered path to an
+/// intermediate node (first occurrence) is not the corresponding
+/// prefix.
+pub struct PrefixClosureViolation;
+
+impl Lint for PrefixClosureViolation {
+    fn code(&self) -> &'static str {
+        "W103"
+    }
+    fn name(&self) -> &'static str {
+        "prefix-closure-violation"
+    }
+    fn description(&self) -> &'static str {
+        "one of the three legs of Definition 9 coherence; coherent algorithms get Corollary 3's exactness"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Definition 7; Corollary 3"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let mut count = 0usize;
+        let mut first: Option<Diagnostic> = None;
+        for (&(src, dst), path) in ctx.table.iter() {
+            let nodes = path.nodes(ctx.net);
+            for (i, &v) in nodes[1..nodes.len() - 1].iter().enumerate() {
+                if v == src {
+                    continue; // prefix to the source is empty
+                }
+                // Only the first occurrence of v is constrained.
+                if nodes.iter().position(|&n| n == v) != Some(i + 1) {
+                    continue;
+                }
+                let prefix = path.prefix_to(ctx.net, v);
+                let registered = ctx.table.path(src, v);
+                if let (Some(prefix), Some(registered)) = (&prefix, registered) {
+                    if registered == prefix {
+                        continue;
+                    }
+                }
+                count += 1;
+                if first.is_none() {
+                    first = Some(
+                        Diagnostic::new(self.code(), self.name(), severity, String::new())
+                            .entity("pair", pair_ref(ctx.net, (src, dst)))
+                            .entity("node", ctx.net.node_name(v))
+                            .fact("pair", pair_ref(ctx.net, (src, dst)))
+                            .fact("via", ctx.net.node_name(v))
+                            .fact("path", walk(ctx.net, path))
+                            .fact(
+                                "expected_prefix",
+                                prefix
+                                    .as_ref()
+                                    .map(|p| walk(ctx.net, p))
+                                    .unwrap_or_else(|| "?".to_string()),
+                            )
+                            .fact(
+                                "registered",
+                                registered
+                                    .map(|p| walk(ctx.net, p))
+                                    .unwrap_or_else(|| "unrouted".to_string()),
+                            ),
+                    );
+                }
+            }
+        }
+        let Some(mut d) = first else {
+            return Vec::new();
+        };
+        d.message = format!(
+            "routing is not prefix-closed: {count} violation(s); e.g. the path for {} reaches {} off the registered route",
+            d.witness["pair"], d.witness["via"],
+        );
+        d = d.fact("violations", count);
+        vec![d]
+    }
+}
+
+/// `W104`: a routed path visits some node twice.
+pub struct NodeRevisit;
+
+impl Lint for NodeRevisit {
+    fn code(&self) -> &'static str {
+        "W104"
+    }
+    fn name(&self) -> &'static str {
+        "node-revisit"
+    }
+    fn description(&self) -> &'static str {
+        "a path through the same node twice breaks Definition 9 coherence and wastes channels"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Definition 9 (coherent routing never visits a node twice)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let mut count = 0usize;
+        let mut first: Option<Diagnostic> = None;
+        for (&pair, path) in ctx.table.iter() {
+            if path.is_node_simple(ctx.net) {
+                continue;
+            }
+            count += 1;
+            if first.is_none() {
+                let nodes = path.nodes(ctx.net);
+                let revisited = nodes
+                    .iter()
+                    .enumerate()
+                    .find(|(i, n)| nodes[..*i].contains(n))
+                    .map(|(_, &n)| n)
+                    .expect("non-simple walk has a repeat");
+                first = Some(
+                    Diagnostic::new(self.code(), self.name(), severity, String::new())
+                        .entity("pair", pair_ref(ctx.net, pair))
+                        .entity("node", ctx.net.node_name(revisited))
+                        .fact("pair", pair_ref(ctx.net, pair))
+                        .fact("path", walk(ctx.net, path))
+                        .fact("revisited_node", ctx.net.node_name(revisited)),
+                );
+            }
+        }
+        let Some(mut d) = first else {
+            return Vec::new();
+        };
+        d.message = format!(
+            "{count} routed path(s) revisit a node; e.g. {} passes {} twice",
+            d.witness["pair"], d.witness["revisited_node"],
+        );
+        d = d.fact("revisiting_paths", count);
+        vec![d]
+    }
+}
+
+/// `W105`: positive detection of Corollary 1's `R : N × N → C` class.
+pub struct NodeFunctionForm;
+
+impl Lint for NodeFunctionForm {
+    fn code(&self) -> &'static str {
+        "W105"
+    }
+    fn name(&self) -> &'static str {
+        "node-function-form"
+    }
+    fn description(&self) -> &'static str {
+        "the next channel depends only on (current node, destination): by Corollary 1 such an algorithm has no false resource cycles, so any CDG cycle here is a real deadlock"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Corollary 1"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Allow
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        if !ctx.properties.node_function {
+            return Vec::new();
+        }
+        let cyclic = !ctx.cdg.is_acyclic();
+        vec![Diagnostic::new(
+            self.code(),
+            self.name(),
+            severity,
+            if cyclic {
+                "algorithm has the form R : N x N -> C and a cyclic CDG: by Corollary 1 a reachable deadlock exists".to_string()
+            } else {
+                "algorithm has the form R : N x N -> C (every cyclic dependency would be a real deadlock; this CDG is acyclic)".to_string()
+            },
+        )
+        .fact("cdg_cyclic", cyclic)
+        .fact("suffix_closed", ctx.properties.suffix_closed)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{LintConfig, Registry, StaticVerdict};
+    use wormnet::topology::ring_unidirectional;
+    use wormroute::algorithms::clockwise_ring;
+    use wormroute::{Path, TableRouting};
+
+    #[test]
+    fn clockwise_ring_gets_node_function_form_and_no_property_warnings() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let report = Registry::with_default_lints().run(&net, &table, &LintConfig::default());
+        assert!(report.diagnostics.iter().any(|d| d.code == "W105"));
+        for code in ["W101", "W102", "W103", "W104"] {
+            assert!(
+                !report.diagnostics.iter().any(|d| d.code == code),
+                "{code} must not fire on the coherent ring"
+            );
+        }
+        assert_eq!(report.verdict, StaticVerdict::Deadlockable);
+    }
+
+    #[test]
+    fn suffix_and_prefix_witnesses_are_concrete() {
+        use wormnet::topology::line;
+        let (net, nodes) = line(4);
+        let mut table = TableRouting::new();
+        table
+            .insert(
+                &net,
+                nodes[0],
+                nodes[3],
+                Path::from_nodes(&net, &[nodes[0], nodes[1], nodes[2], nodes[3]]).unwrap(),
+            )
+            .unwrap();
+        let report = Registry::with_default_lints().run(&net, &table, &LintConfig::default());
+        let w102 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "W102")
+            .expect("missing suffixes violate Definition 8");
+        assert_eq!(w102.witness["registered"], "unrouted");
+        assert_eq!(w102.witness["violations"], "2");
+        assert!(w102.witness["expected_suffix"].contains("->"));
+        let w103 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "W103")
+            .expect("missing prefixes violate Definition 7");
+        assert_eq!(w103.witness["violations"], "2");
+    }
+
+    #[test]
+    fn nonminimal_detour_measured() {
+        use wormnet::topology::line;
+        let (net, nodes) = line(4);
+        let mut table = TableRouting::new();
+        // (1,0) the long way round: 1-2-1-0 (3 channels, distance 1).
+        table
+            .insert(
+                &net,
+                nodes[1],
+                nodes[0],
+                Path::from_nodes(&net, &[nodes[1], nodes[2], nodes[1], nodes[0]]).unwrap(),
+            )
+            .unwrap();
+        let report = Registry::with_default_lints().run(&net, &table, &LintConfig::default());
+        let w101 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "W101")
+            .expect("detour");
+        assert_eq!(w101.witness["worst_path_len"], "3");
+        assert_eq!(w101.witness["worst_distance"], "1");
+        let w104 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "W104")
+            .expect("revisit");
+        assert_eq!(w104.witness["revisited_node"], "l1");
+    }
+}

@@ -1,0 +1,328 @@
+//! `W0xx`: structural integrity of the network and table.
+
+use std::collections::BTreeSet;
+
+use crate::context::LintContext;
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::lint::Lint;
+use crate::lints::{pair_ref, walk};
+
+/// `W001`: a channel whose endpoints coincide.
+pub struct SelfLoopChannel;
+
+impl Lint for SelfLoopChannel {
+    fn code(&self) -> &'static str {
+        "W001"
+    }
+    fn name(&self) -> &'static str {
+        "self-loop-channel"
+    }
+    fn description(&self) -> &'static str {
+        "a channel from a node to itself can never appear on a path and poisons CDG construction"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Section 2 model (channels connect neighbouring nodes)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        ctx.net
+            .channels()
+            .filter(|c| c.src() == c.dst())
+            .map(|c| {
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    severity,
+                    format!("channel {c} is a self-loop"),
+                )
+                .entity("channel", c)
+                .entity("node", ctx.net.node_name(c.src()))
+            })
+            .collect()
+    }
+}
+
+/// `W002`: two channels with identical (src, dst, vc).
+pub struct DuplicateChannel;
+
+impl Lint for DuplicateChannel {
+    fn code(&self) -> &'static str {
+        "W002"
+    }
+    fn name(&self) -> &'static str {
+        "duplicate-channel"
+    }
+    fn description(&self) -> &'static str {
+        "two channels with the same endpoints and virtual-channel index are indistinguishable to an oblivious router"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Section 2 model (virtual channels are distinct resources)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let mut seen = BTreeSet::new();
+        ctx.net
+            .channels()
+            .filter(|c| !seen.insert((c.src(), c.dst(), c.vc())))
+            .map(|c| {
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    severity,
+                    format!("channel {c} duplicates an earlier channel on the same link and lane"),
+                )
+                .entity("channel", c)
+            })
+            .collect()
+    }
+}
+
+/// `W003`: the network is not strongly connected, or the table leaves
+/// ordered pairs unrouted.
+pub struct UnroutablePairs;
+
+impl Lint for UnroutablePairs {
+    fn code(&self) -> &'static str {
+        "W003"
+    }
+    fn name(&self) -> &'static str {
+        "unroutable-pair"
+    }
+    fn description(&self) -> &'static str {
+        "a total oblivious algorithm must route every ordered pair; disconnection makes that impossible"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Definition 3 (routing algorithm totality); Section 2 (strongly connected interconnection)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let nodes: Vec<_> = ctx.net.nodes().collect();
+        if !ctx.net.is_strongly_connected() {
+            let dist = ctx.net.all_pairs_distances();
+            let witness = nodes
+                .iter()
+                .flat_map(|&u| nodes.iter().map(move |&v| (u, v)))
+                .find(|&(u, v)| u != v && dist[u.index()][v.index()].is_none());
+            let mut d = Diagnostic::new(
+                self.code(),
+                self.name(),
+                severity,
+                "network is not strongly connected".to_string(),
+            );
+            if let Some(pair) = witness {
+                d = d
+                    .entity("pair", pair_ref(ctx.net, pair))
+                    .fact("unreachable_pair", pair_ref(ctx.net, pair));
+            }
+            out.push(d);
+        }
+        let missing: Vec<(wormnet::NodeId, wormnet::NodeId)> = nodes
+            .iter()
+            .flat_map(|&u| nodes.iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u != v && ctx.table.path(u, v).is_none())
+            .collect();
+        if !missing.is_empty() {
+            let mut d = Diagnostic::new(
+                self.code(),
+                self.name(),
+                severity,
+                format!(
+                    "routing table is not total: {} unrouted pair(s)",
+                    missing.len()
+                ),
+            )
+            .fact("unrouted_pairs", missing.len());
+            for &pair in missing.iter().take(3) {
+                d = d.entity("pair", pair_ref(ctx.net, pair));
+            }
+            out.push(d);
+        }
+        out
+    }
+}
+
+/// `W004`: a channel no routed path uses.
+pub struct DeadChannel;
+
+impl Lint for DeadChannel {
+    fn code(&self) -> &'static str {
+        "W004"
+    }
+    fn name(&self) -> &'static str {
+        "dead-channel"
+    }
+    fn description(&self) -> &'static str {
+        "a channel outside every routed path is dead hardware: it cannot carry traffic and never appears in the CDG"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Definition 4 (the CDG contains exactly the channels the algorithm uses)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let mut used = vec![false; ctx.net.channel_count()];
+        for (_, path) in ctx.table.iter() {
+            for c in path.channels() {
+                used[c.index()] = true;
+            }
+        }
+        ctx.net
+            .channels()
+            .filter(|c| !used[c.id().index()])
+            .map(|c| {
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    severity,
+                    format!("channel {c} is used by no routed path"),
+                )
+                .entity("channel", c)
+            })
+            .collect()
+    }
+}
+
+/// `W005`: a table entry whose path passes through its own destination
+/// before ending — everything after the first arrival is a dead tail.
+pub struct DeadPathTail;
+
+impl Lint for DeadPathTail {
+    fn code(&self) -> &'static str {
+        "W005"
+    }
+    fn name(&self) -> &'static str {
+        "dead-table-entry"
+    }
+    fn description(&self) -> &'static str {
+        "a path that reaches its destination and keeps going carries dead channels: the worm would already have been consumed, yet the spec manufactures phantom CDG dependencies from the tail"
+    }
+    fn paper_anchor(&self) -> &'static str {
+        "Section 2 model (messages are consumed at their destination)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (&(src, dst), path) in ctx.table.iter() {
+            let nodes = path.nodes(ctx.net);
+            let Some(first) = nodes[..nodes.len() - 1].iter().position(|&n| n == dst) else {
+                continue;
+            };
+            let dead = nodes.len() - 1 - first;
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    severity,
+                    format!(
+                        "path for {} passes through its destination at hop {first} and continues for {dead} dead channel(s)",
+                        pair_ref(ctx.net, (src, dst)),
+                    ),
+                )
+                .entity("pair", pair_ref(ctx.net, (src, dst)))
+                .fact("path", walk(ctx.net, path))
+                .fact("first_arrival_hop", first)
+                .fact("dead_channels", dead),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{LintConfig, Registry};
+    use wormnet::topology::line;
+    use wormnet::Network;
+    use wormroute::{Path, TableRouting};
+
+    fn run(net: &Network, table: &TableRouting) -> Vec<crate::Diagnostic> {
+        Registry::with_default_lints()
+            .run(net, table, &LintConfig::default())
+            .diagnostics
+    }
+
+    #[test]
+    fn duplicate_detected_and_no_self_loop_possible() {
+        // `Network::add_channel_full` rejects self-loops outright, so
+        // W001 is defence in depth for future construction paths; W002
+        // is reachable today.
+        let mut net = Network::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.add_channel(a, b);
+        net.add_channel(b, a);
+        net.add_channel(a, b); // duplicate of the first channel
+        let table = TableRouting::new();
+        let diags = run(&net, &table);
+        assert!(!diags.iter().any(|d| d.code == "W001"));
+        let w2 = diags.iter().find(|d| d.code == "W002").expect("W002");
+        assert_eq!(w2.severity, crate::Severity::Deny);
+    }
+
+    #[test]
+    fn missing_pairs_summarized() {
+        let (net, nodes) = line(3);
+        let mut table = TableRouting::new();
+        table
+            .insert(
+                &net,
+                nodes[0],
+                nodes[1],
+                Path::from_nodes(&net, &[nodes[0], nodes[1]]).unwrap(),
+            )
+            .unwrap();
+        let diags = run(&net, &table);
+        let w3 = diags.iter().find(|d| d.code == "W003").expect("W003");
+        assert_eq!(w3.witness["unrouted_pairs"], "5");
+        assert!(!w3.entities.is_empty());
+    }
+
+    #[test]
+    fn dead_channel_detected() {
+        let (net, nodes) = line(3);
+        // Route only 0->1; every other channel is dead.
+        let mut table = TableRouting::new();
+        table
+            .insert(
+                &net,
+                nodes[0],
+                nodes[1],
+                Path::from_nodes(&net, &[nodes[0], nodes[1]]).unwrap(),
+            )
+            .unwrap();
+        let dead = run(&net, &table)
+            .iter()
+            .filter(|d| d.code == "W004")
+            .count();
+        assert_eq!(dead, 3, "three of the line's four channels are unused");
+    }
+
+    #[test]
+    fn dead_tail_detected() {
+        let (net, nodes) = line(3);
+        let mut table = TableRouting::new();
+        // 0 -> 1 -> 2 -> 1: arrives at node 1 (hop 1), then wanders on.
+        table
+            .insert(
+                &net,
+                nodes[0],
+                nodes[1],
+                Path::from_nodes(&net, &[nodes[0], nodes[1], nodes[2], nodes[1]]).unwrap(),
+            )
+            .unwrap();
+        let diags = run(&net, &table);
+        let w5 = diags.iter().find(|d| d.code == "W005").expect("W005");
+        assert_eq!(w5.witness["first_arrival_hop"], "1");
+        assert_eq!(w5.witness["dead_channels"], "2");
+    }
+}

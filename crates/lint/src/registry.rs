@@ -1,0 +1,345 @@
+//! The lint registry: configuration, execution, and reports.
+
+use std::collections::BTreeMap;
+
+use crate::context::LintContext;
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::lint::Lint;
+use crate::lints::default_lints;
+use wormnet::Network;
+use wormroute::TableRouting;
+
+/// Per-run lint configuration.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Per-code severity overrides (`"W101" -> Allow` silences the
+    /// non-minimality warning, `"W004" -> Deny` promotes dead channels
+    /// to errors). Unknown codes are ignored.
+    pub overrides: BTreeMap<String, Severity>,
+    /// Promote every effective `Warn` to `Deny` (applied after
+    /// `overrides`).
+    pub deny_warnings: bool,
+    /// Budget for elementary-cycle enumeration.
+    pub max_cycles: usize,
+    /// Budget for candidate enumeration per cycle.
+    pub max_candidates: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            overrides: BTreeMap::new(),
+            deny_warnings: false,
+            max_cycles: 10_000,
+            max_candidates: 10_000,
+        }
+    }
+}
+
+impl LintConfig {
+    /// The effective severity for a lint under this config.
+    pub fn severity_for(&self, lint: &dyn Lint) -> Severity {
+        let base = self
+            .overrides
+            .get(lint.code())
+            .copied()
+            .unwrap_or_else(|| lint.default_severity());
+        if self.deny_warnings && base == Severity::Warn {
+            Severity::Deny
+        } else {
+            base
+        }
+    }
+}
+
+/// What the static analysis concludes about deadlock freedom.
+///
+/// This is deliberately coarser than `worm_core::classify::Verdict`:
+/// with no search fallback, everything the theorems leave open is
+/// [`StaticVerdict::Undecided`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaticVerdict {
+    /// The CDG is acyclic: deadlock-free by Theorem 1 (Dally–Seitz).
+    FreeAcyclic,
+    /// The CDG has cycles, but every enumerated candidate is certified
+    /// unreachable by Theorem 5 — the paper's phenomenon: cyclic
+    /// dependencies without deadlock.
+    FreeCyclic,
+    /// At least one candidate carries a Theorem 2/3/4/5
+    /// reachable-deadlock certificate.
+    Deadlockable,
+    /// Some candidate (or an exhausted enumeration budget) falls
+    /// outside the theorems: only exhaustive search can decide.
+    Undecided,
+}
+
+impl StaticVerdict {
+    /// Stable lowercase name used in JSON and human output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StaticVerdict::FreeAcyclic => "free-acyclic",
+            StaticVerdict::FreeCyclic => "free-cyclic",
+            StaticVerdict::Deadlockable => "deadlockable",
+            StaticVerdict::Undecided => "undecided",
+        }
+    }
+}
+
+impl std::fmt::Display for StaticVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of one registry run over one spec.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Every diagnostic, sorted by `(code, entities, message)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The static deadlock-freedom verdict.
+    pub verdict: StaticVerdict,
+}
+
+impl LintReport {
+    /// Diagnostics at a given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// `Deny` diagnostics — nonzero fails a gated run.
+    pub fn deny_count(&self) -> usize {
+        self.count(Severity::Deny)
+    }
+
+    /// `Warn` diagnostics.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// `Allow` diagnostics.
+    pub fn allow_count(&self) -> usize {
+        self.count(Severity::Allow)
+    }
+
+    /// Sorted per-code diagnostic counts.
+    pub fn counts_by_code(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.code).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Render the full human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}", d.render());
+        }
+        let _ = write!(
+            out,
+            "verdict: {} ({} deny, {} warn, {} allow)",
+            self.verdict,
+            self.deny_count(),
+            self.warn_count(),
+            self.allow_count(),
+        );
+        out
+    }
+}
+
+/// An ordered collection of lints with stable codes.
+pub struct Registry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry { lints: Vec::new() }
+    }
+
+    /// A registry holding every built-in lint.
+    pub fn with_default_lints() -> Self {
+        Registry {
+            lints: default_lints(),
+        }
+    }
+
+    /// Register a lint. Panics on a duplicate code: codes are the
+    /// stable public identity of a lint.
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        assert!(
+            self.lints.iter().all(|l| l.code() != lint.code()),
+            "duplicate lint code {}",
+            lint.code()
+        );
+        self.lints.push(lint);
+    }
+
+    /// The registered lints, in registration (= code) order.
+    pub fn lints(&self) -> &[Box<dyn Lint>] {
+        &self.lints
+    }
+
+    /// Run every registered lint over a spec.
+    ///
+    /// Diagnostics are re-sorted by `(code, entities, message)` so the
+    /// report is deterministic regardless of lint registration order.
+    pub fn run(&self, net: &Network, table: &TableRouting, config: &LintConfig) -> LintReport {
+        let _span = wormtrace::span("lint.run");
+        wormtrace::counter("lint.runs", 1);
+        let ctx = LintContext::build(net, table, config.max_cycles, config.max_candidates);
+        let mut diagnostics = Vec::new();
+        for lint in &self.lints {
+            let severity = config.severity_for(lint.as_ref());
+            let found = lint.check(&ctx, severity);
+            debug_assert!(
+                found.iter().all(|d| d.code == lint.code()
+                    && d.lint == lint.name()
+                    && d.severity == severity),
+                "lint {} emitted a mislabelled diagnostic",
+                lint.code()
+            );
+            diagnostics.extend(found);
+        }
+        diagnostics.sort_by(|a, b| {
+            (a.code, &a.entities, &a.message).cmp(&(b.code, &b.entities, &b.message))
+        });
+        let verdict = verdict(&ctx);
+        wormtrace::counter("lint.diagnostics", diagnostics.len() as u64);
+        for d in &diagnostics {
+            wormtrace::counter(
+                match d.severity {
+                    Severity::Allow => "lint.allow",
+                    Severity::Warn => "lint.warn",
+                    Severity::Deny => "lint.deny",
+                },
+                1,
+            );
+        }
+        LintReport {
+            diagnostics,
+            verdict,
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_default_lints()
+    }
+}
+
+/// Fold the per-candidate theorem classifications into one verdict.
+fn verdict(ctx: &LintContext<'_>) -> StaticVerdict {
+    if ctx.cdg.is_acyclic() {
+        return StaticVerdict::FreeAcyclic;
+    }
+    let Some(cycles) = &ctx.cycles else {
+        return StaticVerdict::Undecided;
+    };
+    let mut open = cycles.iter().any(|cy| !cy.enumeration_complete);
+    let mut deadlock = false;
+    for (_, ca) in ctx.candidates() {
+        match ca.class.reachable() {
+            Some(true) => deadlock = true,
+            Some(false) => {}
+            None => open = true,
+        }
+    }
+    if deadlock {
+        StaticVerdict::Deadlockable
+    } else if open {
+        StaticVerdict::Undecided
+    } else {
+        StaticVerdict::FreeCyclic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worm_core::paper::fig1;
+    use wormnet::topology::{ring_unidirectional, Mesh};
+    use wormroute::algorithms::{clockwise_ring, dimension_order};
+
+    #[test]
+    fn acyclic_mesh_is_free() {
+        let mesh = Mesh::new(&[3, 3]);
+        let table = dimension_order(&mesh).unwrap();
+        let net = mesh.network();
+        let report = Registry::with_default_lints().run(net, &table, &LintConfig::default());
+        assert_eq!(report.verdict, StaticVerdict::FreeAcyclic);
+        assert_eq!(report.deny_count(), 0);
+        // Acyclic CDG: no cycle diagnostics at all.
+        assert!(report.diagnostics.iter().all(|d| !d.code.starts_with("W2")));
+    }
+
+    #[test]
+    fn unidirectional_ring_is_deadlockable() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let report = Registry::with_default_lints().run(&net, &table, &LintConfig::default());
+        assert_eq!(report.verdict, StaticVerdict::Deadlockable);
+        assert!(report.diagnostics.iter().any(|d| d.code == "W202"));
+    }
+
+    #[test]
+    fn overrides_and_deny_warnings_change_severity() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        let registry = Registry::with_default_lints();
+
+        let mut config = LintConfig::default();
+        config.overrides.insert("W202".to_string(), Severity::Allow);
+        let report = registry.run(&net, &table, &config);
+        assert!(report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "W202")
+            .all(|d| d.severity == Severity::Allow));
+
+        let config = LintConfig {
+            deny_warnings: true,
+            ..LintConfig::default()
+        };
+        let report = registry.run(&net, &table, &config);
+        assert!(report.deny_count() > 0, "warnings promoted to deny");
+    }
+
+    #[test]
+    fn diagnostics_sorted_and_counts_consistent() {
+        let c = fig1::cyclic_dependency();
+        let report = Registry::with_default_lints().run(&c.net, &c.table, &LintConfig::default());
+        let keys: Vec<_> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.entities.clone(), d.message.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(
+            report.deny_count() + report.warn_count() + report.allow_count(),
+            report.diagnostics.len()
+        );
+        assert_eq!(
+            report.counts_by_code().values().sum::<usize>(),
+            report.diagnostics.len()
+        );
+    }
+
+    #[test]
+    fn duplicate_code_panics() {
+        let mut registry = Registry::with_default_lints();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            registry.register(Box::new(crate::lints::structure::SelfLoopChannel));
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -522,49 +522,59 @@ pub(crate) fn decision_options(
                 .into_iter()
                 .filter(|(_, reqs)| reqs.len() >= 2)
                 .collect();
-            expand_winners(
-                &conflicts,
-                0,
-                &mut BTreeMap::new(),
-                &inject,
-                &stalls,
+            WinnerExpansion {
+                conflicts: &conflicts,
+                inject: &inject,
+                stalls: &stalls,
                 dead,
-                &mut out,
-            );
+            }
+            .expand(0, &mut BTreeMap::new(), &mut out);
         }
     }
     out
 }
 
-#[allow(clippy::too_many_arguments)]
-fn expand_winners(
-    conflicts: &[(ChannelId, Vec<MessageId>)],
-    idx: usize,
-    chosen: &mut BTreeMap<ChannelId, MessageId>,
-    inject: &[MessageId],
-    stalls: &[MessageId],
-    dead: &[ChannelId],
-    out: &mut Vec<Decisions>,
-) {
-    if idx == conflicts.len() {
-        out.push(Decisions {
-            inject: inject.to_vec(),
-            stalls: stalls.to_vec(),
-            winners: chosen.clone(),
-            // Channel-level skew is subsumed by message stalls for
-            // reachability purposes, so the search only freezes the
-            // permanently-dead channels of a degraded network (the
-            // set is constant, so state deduplication is unaffected).
-            frozen: dead.to_vec(),
-        });
-        return;
+/// The fixed inputs of one winner-assignment expansion: the conflicted
+/// channels plus the inject/stall/frozen sets every emitted
+/// [`Decisions`] copies verbatim. Bundling them keeps the recursion
+/// signature down to what actually varies per call.
+struct WinnerExpansion<'a> {
+    conflicts: &'a [(ChannelId, Vec<MessageId>)],
+    inject: &'a [MessageId],
+    stalls: &'a [MessageId],
+    dead: &'a [ChannelId],
+}
+
+impl WinnerExpansion<'_> {
+    /// Enumerate every winner assignment for `conflicts[idx..]` on top
+    /// of the choices in `chosen`, pushing one [`Decisions`] per
+    /// complete assignment.
+    fn expand(
+        &self,
+        idx: usize,
+        chosen: &mut BTreeMap<ChannelId, MessageId>,
+        out: &mut Vec<Decisions>,
+    ) {
+        if idx == self.conflicts.len() {
+            out.push(Decisions {
+                inject: self.inject.to_vec(),
+                stalls: self.stalls.to_vec(),
+                winners: chosen.clone(),
+                // Channel-level skew is subsumed by message stalls for
+                // reachability purposes, so the search only freezes the
+                // permanently-dead channels of a degraded network (the
+                // set is constant, so state deduplication is unaffected).
+                frozen: self.dead.to_vec(),
+            });
+            return;
+        }
+        let (chan, reqs) = &self.conflicts[idx];
+        for &m in reqs {
+            chosen.insert(*chan, m);
+            self.expand(idx + 1, chosen, out);
+        }
+        chosen.remove(chan);
     }
-    let (chan, reqs) = &conflicts[idx];
-    for &m in reqs {
-        chosen.insert(*chan, m);
-        expand_winners(conflicts, idx + 1, chosen, inject, stalls, dead, out);
-    }
-    chosen.remove(chan);
 }
 
 /// All subsets of a small slice (including the empty set).

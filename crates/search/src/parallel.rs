@@ -173,6 +173,21 @@ type Shard<S> = HashMap<<S as Space>::Key, ParentRec<<S as Space>::Key, <S as Sp
 /// A worker's pair of frontier deques, indexed by layer parity.
 type FrontierPair<S> = [Mutex<VecDeque<(<S as Space>::Key, <S as Space>::State)>>; 2];
 
+/// Acquire a mutex, proceeding with the data even if the lock is
+/// poisoned.
+///
+/// Every mutex here (frontier deques, visited-set shards, the goal
+/// list) guards plain data with no invariant that spans a critical
+/// section, so a panic in one worker cannot leave the protected value
+/// torn. Recovering instead of unwrapping keeps the other workers from
+/// dying of secondary `PoisonError` panics that would bury the
+/// original panic; `std::thread::scope` still re-raises it on join.
+fn lock_or_poisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn shard_of<K: Hash>(key: &K, mask: usize) -> usize {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     key.hash(&mut h);
@@ -231,16 +246,13 @@ pub(crate) fn search_parallel<S: Space>(
         let mut root_scratch = space.scratch();
         space.key(&initial, &mut root_scratch)
     };
-    shards[shard_of(&root_key, shard_mask)]
-        .lock()
-        .unwrap()
-        .insert(
-            root_key.clone(),
-            ParentRec {
-                depth: 0,
-                parent: None,
-            },
-        );
+    lock_or_poisoned(&shards[shard_of(&root_key, shard_mask)]).insert(
+        root_key.clone(),
+        ParentRec {
+            depth: 0,
+            parent: None,
+        },
+    );
 
     // Two frontier deques per worker, indexed by layer parity: workers
     // drain parity `p` while filling parity `1 - p`.
@@ -249,10 +261,7 @@ pub(crate) fn search_parallel<S: Space>(
         .collect();
     let root_terminal = space.is_terminal(&initial);
     if !root_terminal {
-        frontiers[0][0]
-            .lock()
-            .unwrap()
-            .push_back((root_key, initial));
+        lock_or_poisoned(&frontiers[0][0]).push_back((root_key, initial));
     }
 
     let stop = AtomicUsize::new(RUNNING);
@@ -283,11 +292,11 @@ pub(crate) fn search_parallel<S: Space>(
                     // Drain the current layer: own deque from the
                     // front, then other workers' from the back.
                     loop {
-                        let mut item = frontiers[w][parity].lock().unwrap().pop_front();
+                        let mut item = lock_or_poisoned(&frontiers[w][parity]).pop_front();
                         if item.is_none() {
                             for v in 1..threads {
                                 let victim = (w + v) % threads;
-                                item = frontiers[victim][parity].lock().unwrap().pop_back();
+                                item = lock_or_poisoned(&frontiers[victim][parity]).pop_back();
                                 if item.is_some() {
                                     steals[w].fetch_add(1, Ordering::Relaxed);
                                     break;
@@ -311,7 +320,8 @@ pub(crate) fn search_parallel<S: Space>(
                                 space.recycle(child, &mut scratch);
                                 continue;
                             }
-                            let mut map = shards[shard_of(&child_key, shard_mask)].lock().unwrap();
+                            let mut map =
+                                lock_or_poisoned(&shards[shard_of(&child_key, shard_mask)]);
                             match map.entry(child_key.clone()) {
                                 Entry::Occupied(mut seen) => {
                                     dedup_hits.fetch_add(1, Ordering::Relaxed);
@@ -344,7 +354,7 @@ pub(crate) fn search_parallel<S: Space>(
                                     visited.fetch_add(1, Ordering::Relaxed);
                                     if space.is_deadlock(&child) {
                                         goal_seen.store(true, Ordering::Relaxed);
-                                        goals.lock().unwrap().push(child_key);
+                                        lock_or_poisoned(goals).push(child_key);
                                         space.recycle(child, &mut scratch);
                                     } else if !space.is_terminal(&child)
                                         && !goal_seen.load(Ordering::Relaxed)
@@ -357,9 +367,7 @@ pub(crate) fn search_parallel<S: Space>(
                                         // insertion above still happens
                                         // for every child, keeping the
                                         // state count deterministic.
-                                        frontiers[w][1 - parity]
-                                            .lock()
-                                            .unwrap()
+                                        lock_or_poisoned(&frontiers[w][1 - parity])
                                             .push_back((child_key, child));
                                     } else {
                                         space.recycle(child, &mut scratch);
@@ -371,7 +379,7 @@ pub(crate) fn search_parallel<S: Space>(
                     if barrier.wait().is_leader() {
                         let next_total: usize = frontiers
                             .iter()
-                            .map(|f| f[1 - parity].lock().unwrap().len())
+                            .map(|f| lock_or_poisoned(&f[1 - parity]).len())
                             .sum();
                         frontier_peak.fetch_max(next_total, Ordering::Relaxed);
                         layers.fetch_add(1, Ordering::Relaxed);
@@ -415,13 +423,16 @@ pub(crate) fn search_parallel<S: Space>(
         DEADLOCK => {
             let goal = goals
                 .into_inner()
-                .unwrap()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .into_iter()
                 .min()
                 .expect("deadlock flagged, so a goal key was recorded");
             let maps: Vec<Shard<S>> = shards
                 .into_iter()
-                .map(|m| m.into_inner().unwrap())
+                .map(|m| {
+                    m.into_inner()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                })
                 .collect();
             let mut decisions = Vec::new();
             let mut cursor = goal;

@@ -14,6 +14,7 @@
 //! | paper | [`core`] (`worm-core`) | the Cyclic Dependency algorithm (Figure 1), Figures 2–3, the Section 6 family `G(k)`, Theorem 5's conditions, the classification pipeline, the `validate` claims runner |
 //! | observability | [`trace`] (`wormtrace`) | zero-dependency counters / gauges / spans behind a global [`trace::Recorder`]; JSON trace reports (`docs/TRACING.md`) |
 //! | resilience | [`fault`] (`wormfault`) | deterministic fault plans (channel outages, router stalls, flit drops, injection jitter) applied through the engine's decision hook, retry/backoff policies, degraded-topology re-verification (`docs/FAULTS.md`) |
+//! | diagnostics | [`lint`] (`wormlint`) | static analysis over routing specs: structural/routing/theorem lints with stable `W`-codes, severities, witness-carrying diagnostics, deterministic `wormlint/1` JSON reports (`docs/LINTS.md`) |
 //!
 //! Extensions beyond the paper's base model, each validated in
 //! `EXPERIMENTS.md`: per-router clock skew (`sim::skew`), adaptive
@@ -114,6 +115,7 @@
 pub use worm_core as core;
 pub use wormcdg as cdg;
 pub use wormfault as fault;
+pub use wormlint as lint;
 pub use wormnet as net;
 pub use wormroute as route;
 pub use wormsearch as search;

@@ -1,0 +1,102 @@
+//! Workspace-wide memory-safety policy check.
+//!
+//! Every library crate in the workspace (the root crate and each
+//! `crates/*` member) must open with `#![forbid(unsafe_code)]`, and no
+//! source file anywhere in `src/`, `tests/`, `examples/` or `benches/`
+//! may contain an `unsafe` block or function. The compiler enforces
+//! the attribute per crate; this test enforces that the attribute is
+//! *present* everywhere — including in future crates — so the policy
+//! cannot silently erode.
+//!
+//! The `shims/*` stand-ins for third-party crates are exempt from the
+//! attribute requirement (they mirror external APIs) but still must
+//! not use `unsafe`; in practice all current shims forbid it too.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every `src/lib.rs` that must carry the attribute.
+fn library_roots(root: &Path) -> Vec<PathBuf> {
+    let mut libs = vec![root.join("src/lib.rs")];
+    let crates = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates)
+        .expect("crates/ exists")
+        .flatten()
+        .map(|e| e.path().join("src/lib.rs"))
+        .filter(|p| p.is_file())
+        .collect();
+    members.sort();
+    assert!(
+        members.len() >= 9,
+        "expected at least nine workspace library crates, found {}",
+        members.len()
+    );
+    libs.extend(members);
+    libs
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_library_crate_forbids_unsafe_code() {
+    let root = workspace_root();
+    let mut missing = Vec::new();
+    for lib in library_roots(&root) {
+        let text = fs::read_to_string(&lib).unwrap();
+        if !text.contains("#![forbid(unsafe_code)]") {
+            missing.push(lib);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "crates missing #![forbid(unsafe_code)]: {missing:?}"
+    );
+}
+
+#[test]
+fn no_source_file_uses_unsafe() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples", "benches", "crates", "shims"] {
+        rust_sources(&root.join(top), &mut files);
+    }
+    files.sort();
+    assert!(files.len() > 50, "source scan found too few files");
+    let mut offenders = Vec::new();
+    let this_file = root.join("tests/forbid_unsafe.rs");
+    for file in files {
+        if file == this_file {
+            continue; // the scanner itself must spell the keyword
+        }
+        let text = fs::read_to_string(&file).unwrap();
+        for (i, line) in text.lines().enumerate() {
+            // Strip line comments; `unsafe` in prose (like this test's
+            // own docs) doesn't count, so require the keyword form.
+            let code = line.split("//").next().unwrap_or("");
+            let mentions_keyword = code
+                .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .any(|w| w == "unsafe");
+            if mentions_keyword && !code.contains("forbid(unsafe_code)") {
+                offenders.push(format!("{}:{}", file.display(), i + 1));
+            }
+        }
+    }
+    assert!(offenders.is_empty(), "unsafe code found at: {offenders:?}");
+}

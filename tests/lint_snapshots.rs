@@ -1,0 +1,84 @@
+//! Golden snapshot of the `wormlint/1` corpus report.
+//!
+//! `LINT_corpus.json` at the repository root is exactly the output of
+//! `wormlint --json` over the built-in corpus. It is a public
+//! interface twice over: CI byte-compares a fresh run against it (the
+//! lint gate), and docs/LINTS.md documents its schema. This test pins
+//! the committed bytes so any change to a lint's message, witness
+//! layout, or the JSON writer shows up as a reviewable diff.
+//!
+//! To regenerate after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test lint_snapshots
+//! ```
+//!
+//! then commit the updated `LINT_corpus.json` together with the change
+//! and a docs/LINTS.md update.
+
+use std::path::PathBuf;
+
+use wormbench::lintcorpus::corpus;
+use wormlint::{reports_to_json, LintConfig, LintReport, Registry};
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("LINT_corpus.json")
+}
+
+/// Render the corpus exactly as `wormlint --json` does (default
+/// severities, no `--deny-warnings`).
+fn render_corpus() -> String {
+    let registry = Registry::with_default_lints();
+    let config = LintConfig::default();
+    let targets = corpus();
+    let reports: Vec<(String, LintReport)> = targets
+        .iter()
+        .map(|t| (t.name.clone(), t.run(&registry, &config)))
+        .collect();
+    let named: Vec<(&str, &LintReport)> = reports.iter().map(|(n, r)| (n.as_str(), r)).collect();
+    reports_to_json(&named)
+}
+
+#[test]
+fn corpus_json_matches_committed_snapshot() {
+    let actual = render_corpus();
+    let path = snapshot_path();
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some_and(|v| v == "1") {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run UPDATE_SNAPSHOTS=1 cargo test --test lint_snapshots",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "LINT_corpus.json drifted; if intentional, regenerate with \
+         UPDATE_SNAPSHOTS=1 cargo test --test lint_snapshots and update docs/LINTS.md"
+    );
+}
+
+#[test]
+fn snapshot_is_wormlint_1_with_stable_codes() {
+    let text = std::fs::read_to_string(snapshot_path()).expect("committed snapshot");
+    assert!(text.starts_with("{\n  \"schema\": \"wormlint/1\",\n"));
+    assert!(text.ends_with("}\n"), "single trailing newline");
+    // Every code in the snapshot is a known registered code.
+    let known: Vec<String> = Registry::with_default_lints()
+        .lints()
+        .iter()
+        .map(|l| format!("\"{}\"", l.code()))
+        .collect();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("\"code\": ") else {
+            continue;
+        };
+        let code = rest.trim_end_matches(',');
+        assert!(
+            known.iter().any(|k| k == code),
+            "unknown lint code {code} in snapshot"
+        );
+    }
+}
