@@ -5,43 +5,34 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use std::hint::black_box;
-use worm_core::paper::fig1;
+use wormbench::scenarios::sim_scenarios;
 use wormnet::topology::Mesh;
 use wormroute::algorithms::dimension_order;
-use wormsim::runner::{ArbitrationPolicy, Runner};
+use wormsim::runner::{ArbitrationPolicy, EngineKind, Runner};
 use wormsim::{traffic, Sim};
 
-fn bench_mesh_uniform(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mesh_uniform_traffic");
-    group.sample_size(20);
-    for side in [4usize, 6, 8] {
-        let mesh = Mesh::new(&[side, side]);
-        let table = dimension_order(&mesh).expect("routes");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let specs = traffic::uniform_random(mesh.network(), &table, &mut rng, 0.05, 100, (4, 8));
-        let sim = Sim::new(mesh.network(), &table, specs, None).expect("routed");
-        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
-            b.iter(|| {
-                let mut runner = Runner::new(black_box(&sim), ArbitrationPolicy::OldestFirst);
-                runner.run(1_000_000)
+/// Every named sim scenario (the `BENCH_sim.json` workloads: uniform
+/// meshes 4x4..32x32 and fig1 under the adversary) under both
+/// engines, so Criterion and the committed baselines measure the same
+/// workloads.
+fn bench_sim_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scenarios");
+    group.sample_size(10);
+    for s in sim_scenarios() {
+        for (label, engine) in [
+            ("stepping", EngineKind::Stepping),
+            ("event", EngineKind::Event),
+        ] {
+            group.bench_with_input(BenchmarkId::new(&s.name, label), &engine, |b, &engine| {
+                b.iter(|| {
+                    let mut runner =
+                        Runner::new(black_box(&s.sim), s.policy.clone()).with_engine(engine);
+                    runner.run(s.max_cycles)
+                });
             });
-        });
+        }
     }
     group.finish();
-}
-
-fn bench_fig1_run(c: &mut Criterion) {
-    let con = fig1::cyclic_dependency();
-    let sim = Sim::new(&con.net, &con.table, con.message_specs(), Some(1)).expect("routed");
-    c.bench_function("fig1_adversarial_run", |b| {
-        b.iter(|| {
-            let mut runner = Runner::new(
-                black_box(&sim),
-                ArbitrationPolicy::Adversarial { favored: vec![] },
-            );
-            runner.run(10_000)
-        });
-    });
 }
 
 fn bench_single_step(c: &mut Criterion) {
@@ -90,8 +81,7 @@ fn bench_adaptive_vs_oblivious(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_mesh_uniform,
-    bench_fig1_run,
+    bench_sim_scenarios,
     bench_single_step,
     bench_adaptive_vs_oblivious
 );

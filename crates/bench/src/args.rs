@@ -31,6 +31,26 @@ pub fn threads(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses `--engine stepping|event`, falling back to `default` when
+/// the flag is absent.
+///
+/// Unlike [`threads`]/[`seed`], an *unrecognized* value is a hard
+/// error (exit 2): silently falling back would make an engine
+/// comparison measure the wrong engine, which is worse than an
+/// unparsable thread count.
+pub fn engine(default: wormsim::runner::EngineKind) -> wormsim::runner::EngineKind {
+    use wormsim::runner::EngineKind;
+    match value_of("--engine").as_deref() {
+        None => default,
+        Some("stepping") => EngineKind::Stepping,
+        Some("event") => EngineKind::Event,
+        Some(other) => {
+            eprintln!("unknown engine {other:?} (expected stepping or event)");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Parses `--seed N`, falling back to `default` when the flag is
 /// absent or unparsable. Accepts decimal (`49374`) and `0x`-prefixed
 /// hexadecimal (`0xC0FFEE`) spellings, so seeds can be quoted exactly

@@ -9,18 +9,20 @@
 //! adversarial arbitration policy.
 //!
 //! Run with: `cargo run --release -p wormbench --bin exp_skew`
-//! (add `--trace <path>` to dump a wormtrace JSON report)
+//! (add `--trace <path>` to dump a wormtrace JSON report, `--engine
+//! stepping|event` to pick the simulator engine)
 
 use rand::SeedableRng;
 use worm_core::paper::{fig1, generalized};
 use wormbench::report::{cell, header, row};
-use wormbench::trace;
-use wormsim::runner::{ArbitrationPolicy, Outcome, Runner};
+use wormbench::{args, trace};
+use wormsim::runner::{ArbitrationPolicy, EngineKind, Outcome, Runner};
 use wormsim::skew::SkewModel;
 use wormsim::Sim;
 
 fn main() {
     let _trace = trace::init("exp_skew");
+    let engine = args::engine(EngineKind::Stepping);
     println!("EXP-G2: Figure 1 / G(k) under randomized per-router clock skew\n");
     header(&[
         ("network", 9),
@@ -46,6 +48,7 @@ fn main() {
                 let skew = SkewModel::uniform_random(&c.net, &mut rng, period);
                 let mut runner =
                     Runner::new(&sim, ArbitrationPolicy::Adversarial { favored: vec![] })
+                        .with_engine(engine)
                         .with_skew(skew);
                 match runner.run(100_000) {
                     Outcome::Delivered { .. } => {

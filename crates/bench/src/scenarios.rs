@@ -136,11 +136,14 @@ pub struct SimScenario {
 /// `benches/sim_bench.rs`.
 pub fn sim_scenarios() -> Vec<SimScenario> {
     let mut out = Vec::new();
-    for side in [4usize, 6, 8] {
+    // Injection rates taper with mesh size so each workload delivers
+    // in a few hundred cycles: at 0.05 a 32x32 mesh would saturate
+    // (thousands of in-flight worms on one-flit queues).
+    for (side, rate) in [(4usize, 0.05), (6, 0.05), (8, 0.05), (16, 0.02), (32, 0.01)] {
         let mesh = Mesh::new(&[side, side]);
         let table = dimension_order(&mesh).expect("routes");
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let specs = traffic::uniform_random(mesh.network(), &table, &mut rng, 0.05, 100, (4, 8));
+        let specs = traffic::uniform_random(mesh.network(), &table, &mut rng, rate, 100, (4, 8));
         let sim = Sim::new(mesh.network(), &table, specs, None).expect("routed");
         out.push(SimScenario {
             name: format!("mesh_uniform_{side}x{side}"),
@@ -192,9 +195,16 @@ mod tests {
 
     #[test]
     fn sim_scenarios_run() {
-        for s in sim_scenarios() {
+        let scenarios = sim_scenarios();
+        for s in &scenarios {
             assert!(!s.name.is_empty());
             assert!(s.max_cycles > 0);
+        }
+        for name in ["mesh_uniform_16x16", "mesh_uniform_32x32"] {
+            assert!(
+                scenarios.iter().any(|s| s.name == name),
+                "{name} missing from the sim suite"
+            );
         }
     }
 }

@@ -51,6 +51,71 @@ pub struct StepReport {
     pub delivered: Vec<MessageId>,
 }
 
+/// Side effects of advancing one message for one cycle, beyond the
+/// flit movements already recorded in [`StepReport`]. The event engine
+/// uses these to update its incremental caches (worm head/tail
+/// indices, wait-for edges, parked sets) without rescanning paths.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct AdvanceFx {
+    /// The header entered the network this cycle (injection).
+    pub started: bool,
+    /// The header acquired its granted next channel this cycle.
+    pub header_moved: bool,
+    /// Path index of a channel released this cycle (tail departed).
+    pub released: Option<usize>,
+}
+
+/// Frozen-channel view for [`Sim::advance_message`]: the stepping
+/// engine (and the event engine's hook/skew path) pass the per-cycle
+/// freeze mask; the event engine's plain fast path passes [`NoFreeze`],
+/// compiling every freeze check out of that monomorphized instance of
+/// the one shared advance routine.
+pub(crate) trait FrozenQ {
+    /// Is channel `ci` frozen (transmits nothing) this cycle?
+    fn is_frozen(&self, ci: usize) -> bool;
+}
+
+/// All-channels-live freeze view (the common case: no skew model).
+pub(crate) struct NoFreeze;
+
+impl FrozenQ for NoFreeze {
+    #[inline(always)]
+    fn is_frozen(&self, _ci: usize) -> bool {
+        false
+    }
+}
+
+impl FrozenQ for &[bool] {
+    #[inline(always)]
+    fn is_frozen(&self, ci: usize) -> bool {
+        self[ci]
+    }
+}
+
+/// Sink for busy (occupancy 0 <-> nonzero) transitions reported by
+/// [`Sim::advance_message`]. The stepping runner rescans channels for
+/// its busy statistics and passes [`NoBusy`]; the event engine passes
+/// its transition buffer so busy accounting is O(transitions).
+pub(crate) trait BusySink {
+    /// Channel `c` crossed into (`on`) or out of (`!on`) busy.
+    fn toggle(&mut self, c: ChannelId, on: bool);
+}
+
+/// Discard busy transitions (the stepping runner's scan recomputes).
+pub(crate) struct NoBusy;
+
+impl BusySink for NoBusy {
+    #[inline(always)]
+    fn toggle(&mut self, _c: ChannelId, _on: bool) {}
+}
+
+impl BusySink for Vec<(ChannelId, bool)> {
+    #[inline(always)]
+    fn toggle(&mut self, c: ChannelId, on: bool) {
+        self.push((c, on));
+    }
+}
+
 /// The static part of a simulation: message paths and lengths, channel
 /// capacities. All dynamic state lives in [`SimState`].
 #[derive(Clone, Debug)]
@@ -267,7 +332,15 @@ impl Sim {
             if decisions.stalls.contains(&m) || state.is_delivered(m, self.length(m)) {
                 continue;
             }
-            self.advance_message(state, m, grants.get(&m).copied(), &frozen_mask, &mut report);
+            self.advance_message(
+                state,
+                m,
+                grants.get(&m).copied(),
+                frozen_mask.as_slice(),
+                None,
+                &mut report,
+                &mut NoBusy,
+            );
         }
 
         // Structured instrumentation (docs/TRACING.md, `sim.*`): one
@@ -286,18 +359,29 @@ impl Sim {
     }
 
     /// Move one message's flits for this cycle. `grant` is the channel
-    /// its header may acquire (already arbitrated).
-    fn advance_message(
+    /// its header may acquire (already arbitrated). `cached`, when
+    /// supplied, is the worm's `(head, tail)` path-index span; the
+    /// event engine maintains these incrementally so the per-message
+    /// path scans disappear from its hot loop. `frozen` and `busy_fx`
+    /// are compile-time views (see [`FrozenQ`] / [`BusySink`]): both
+    /// engines run this one routine, each through its own monomorphized
+    /// instance.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn advance_message<F: FrozenQ, B: BusySink>(
         &self,
         state: &mut SimState,
         m: MessageId,
         grant: Option<ChannelId>,
-        frozen: &[bool],
+        frozen: F,
+        cached: Option<(usize, usize)>,
         report: &mut StepReport,
-    ) {
+        busy_fx: &mut B,
+    ) -> AdvanceFx {
         let mi = m.index();
         let path = &self.paths[mi];
         let length = self.lengths[mi];
+        let mut fx = AdvanceFx::default();
 
         // Header injection: the worm does not exist in the network yet.
         if state.injected[mi] == 0 {
@@ -311,24 +395,43 @@ impl Sim {
                 state.injected[mi] = 1;
                 report.moved = true;
                 report.flits_moved += 1;
+                fx.started = true;
+                busy_fx.toggle(c, true);
                 // A one-flit message may have just fully injected; it
                 // still needs to traverse and be consumed, nothing more
                 // to do this cycle.
             }
-            return;
+            return fx;
         }
 
-        let Some(head) = self.head_index(state, m) else {
-            // Injected and not delivered implies flits in the network.
-            unreachable!("in-flight message owns no channel");
-        };
-        // Lowest owned index (tail end of the worm).
-        let tail = (0..=head)
-            .find(|&i| matches!(state.channels[path[i].index()], Some(occ) if occ.msg == m))
-            .expect("head exists, so some channel is owned");
+        let (head, tail) = cached.unwrap_or_else(|| {
+            let head = self
+                .head_index(state, m)
+                // Injected and not delivered implies flits in the network.
+                .expect("in-flight message owns no channel");
+            // Lowest owned index (tail end of the worm).
+            let tail = (0..=head)
+                .find(|&i| matches!(state.channels[path[i].index()], Some(occ) if occ.msg == m))
+                .expect("head exists, so some channel is owned");
+            (head, tail)
+        });
+        #[cfg(debug_assertions)]
+        if cached.is_some() {
+            assert_eq!(Some(head), self.head_index(state, m), "{m}: stale head");
+            assert!(
+                matches!(state.channels[path[tail].index()], Some(occ) if occ.msg == m),
+                "{m}: stale tail"
+            );
+            assert!(
+                tail == 0
+                    || !matches!(state.channels[path[tail - 1].index()], Some(occ) if occ.msg == m),
+                "{m}: tail not lowest owned"
+            );
+        }
 
         // Process owned channels from head to tail so chained advance
         // sees whether the channel ahead freed a slot this cycle.
+        let mut flits = 0;
         for i in (tail..=head).rev() {
             let c = path[i];
             let occ = state.channels[c.index()].expect("owned channel");
@@ -336,7 +439,7 @@ impl Sim {
             if occ.is_empty() {
                 continue; // bubble: nothing to depart
             }
-            if frozen[c.index()] {
+            if frozen.is_frozen(c.index()) {
                 continue; // skewed-out queue: no transmission this cycle
             }
             let departing_flit = occ.lo;
@@ -356,6 +459,8 @@ impl Sim {
                         lo: departing_flit,
                         hi: departing_flit + 1,
                     });
+                    fx.header_moved = true;
+                    busy_fx.toggle(t, true);
                     true
                 } else {
                     false
@@ -366,13 +471,16 @@ impl Sim {
                 let t = path[i + 1];
                 let t_occ = state.channels[t.index()].expect("worm contiguity");
                 debug_assert_eq!(t_occ.msg, m);
-                if !frozen[t.index()] && t_occ.occupancy() < self.capacities[t.index()] {
+                if !frozen.is_frozen(t.index()) && t_occ.occupancy() < self.capacities[t.index()] {
                     debug_assert_eq!(t_occ.hi, departing_flit);
                     state.channels[t.index()] = Some(ChannelOcc {
                         msg: m,
                         lo: t_occ.lo,
                         hi: t_occ.hi + 1,
                     });
+                    if t_occ.occupancy() == 0 {
+                        busy_fx.toggle(t, true);
+                    }
                     true
                 } else {
                     false
@@ -380,13 +488,16 @@ impl Sim {
             };
 
             if moved {
-                report.moved = true;
-                report.flits_moved += 1;
+                flits += 1;
                 let mut occ = occ;
                 occ.lo += 1;
+                if occ.is_empty() {
+                    busy_fx.toggle(c, false);
+                }
                 if occ.is_empty() && departing_flit == length - 1 {
                     // Tail passed: release the queue.
                     state.channels[c.index()] = None;
+                    fx.released = Some(i);
                 } else {
                     state.channels[c.index()] = Some(occ);
                 }
@@ -400,7 +511,7 @@ impl Sim {
             let c0 = path[0];
             if let Some(occ) = state.channels[c0.index()] {
                 if occ.msg == m
-                    && !frozen[c0.index()]
+                    && !frozen.is_frozen(c0.index())
                     && occ.occupancy() < self.capacities[c0.index()]
                 {
                     debug_assert_eq!(occ.hi, state.injected[mi]);
@@ -409,16 +520,23 @@ impl Sim {
                         lo: occ.lo,
                         hi: occ.hi + 1,
                     });
+                    if occ.occupancy() == 0 {
+                        busy_fx.toggle(c0, true);
+                    }
                     state.injected[mi] += 1;
-                    report.moved = true;
-                    report.flits_moved += 1;
+                    flits += 1;
                 }
             }
+        }
+        if flits > 0 {
+            report.moved = true;
+            report.flits_moved += flits;
         }
 
         if state.is_delivered(m, length as usize) {
             report.delivered.push(m);
         }
+        fx
     }
 
     /// Exact deadlock detection: find a cycle in the wait-for graph
@@ -442,41 +560,7 @@ impl Sim {
                 }
             }
         }
-        // Functional-graph cycle detection.
-        // color: 0 = unvisited, 1 = on current walk, 2 = done.
-        let mut color = vec![0u8; n];
-        for start in 0..n {
-            if color[start] != 0 {
-                continue;
-            }
-            let mut walk = Vec::new();
-            let mut v = start;
-            loop {
-                if color[v] == 1 {
-                    // Found a cycle: the portion of `walk` from v.
-                    let pos = walk.iter().position(|&x| x == v).expect("on walk");
-                    let mut cycle: Vec<MessageId> = walk[pos..]
-                        .iter()
-                        .map(|&x| MessageId::from_index(x))
-                        .collect();
-                    cycle.sort_unstable();
-                    return Some(cycle);
-                }
-                if color[v] == 2 {
-                    break;
-                }
-                color[v] = 1;
-                walk.push(v);
-                match waits[v] {
-                    Some(next) => v = next.index(),
-                    None => break,
-                }
-            }
-            for &x in &walk {
-                color[x] = 2;
-            }
-        }
-        None
+        deadlock_in_waits(&waits)
     }
 
     /// Debug invariant checker used by tests and property tests:
@@ -538,6 +622,49 @@ impl Sim {
             }
         }
     }
+}
+
+/// Cycle detection over an explicit wait-for function (`waits[m]` =
+/// the message `m`'s header is blocked behind, if any). Shared by
+/// [`Sim::find_deadlock`] and the event engine's incrementally
+/// maintained wait edges, so both report byte-identical cycles.
+///
+/// color: 0 = unvisited, 1 = on current walk, 2 = done.
+pub(crate) fn deadlock_in_waits(waits: &[Option<MessageId>]) -> Option<Vec<MessageId>> {
+    let n = waits.len();
+    let mut color = vec![0u8; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut walk = Vec::new();
+        let mut v = start;
+        loop {
+            if color[v] == 1 {
+                // Found a cycle: the portion of `walk` from v.
+                let pos = walk.iter().position(|&x| x == v).expect("on walk");
+                let mut cycle: Vec<MessageId> = walk[pos..]
+                    .iter()
+                    .map(|&x| MessageId::from_index(x))
+                    .collect();
+                cycle.sort_unstable();
+                return Some(cycle);
+            }
+            if color[v] == 2 {
+                break;
+            }
+            color[v] = 1;
+            walk.push(v);
+            match waits[v] {
+                Some(next) => v = next.index(),
+                None => break,
+            }
+        }
+        for &x in &walk {
+            color[x] = 2;
+        }
+    }
+    None
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@
 
 mod engine;
 mod error;
+mod event;
 mod message;
 mod state;
 

@@ -12,11 +12,30 @@ use std::collections::BTreeMap;
 use wormnet::ChannelId;
 
 use crate::engine::{Decisions, Sim};
+use crate::event::EventCore;
 use crate::hooks::DecisionHook;
 use crate::message::MessageId;
 use crate::skew::SkewModel;
 use crate::state::SimState;
 use crate::stats::Stats;
+
+/// Execution engine backing a [`Runner`].
+///
+/// Both engines produce bit-identical outcomes, final states,
+/// statistics, and `sim.*` trace counters (`tests/diff_sim.rs` holds
+/// the contract); they differ only in how much work each cycle costs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The cycle-synchronous oracle: rescans every message and channel
+    /// each cycle. Simple, obviously correct, and the reference the
+    /// event engine is differential-tested against.
+    #[default]
+    Stepping,
+    /// The event-driven core (`wormsim::event`): timer-wheel releases,
+    /// cached worm spans, parked-worm wakes, and incremental deadlock
+    /// detection. Work scales with what moves, not with topology size.
+    Event,
+}
 
 /// Arbitration policies for contended channels.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,6 +105,10 @@ pub struct Runner<'a> {
     waiting_since: Vec<Option<(ChannelId, u64)>>,
     /// Per-channel last winner (for RoundRobin).
     last_winner: BTreeMap<ChannelId, MessageId>,
+    /// Selected engine; `event` is `Some` iff it is [`EngineKind::Event`]
+    /// (the event core keeps its own arbitration state).
+    engine: EngineKind,
+    event: Option<Box<EventCore>>,
 }
 
 impl<'a> Runner<'a> {
@@ -100,8 +123,30 @@ impl<'a> Runner<'a> {
             stats: Stats::new(sim.message_count(), sim.channel_count()),
             waiting_since: vec![None; sim.message_count()],
             last_winner: BTreeMap::new(),
+            engine: EngineKind::Stepping,
+            event: None,
             sim,
         }
+    }
+
+    /// Select the execution engine (default: [`EngineKind::Stepping`]).
+    ///
+    /// # Panics
+    /// Panics if called after the runner has stepped: the event core
+    /// builds its caches from the fresh initial state.
+    pub fn with_engine(mut self, kind: EngineKind) -> Self {
+        assert_eq!(self.time, 0, "select the engine before stepping");
+        self.engine = kind;
+        self.event = match kind {
+            EngineKind::Stepping => None,
+            EngineKind::Event => Some(Box::new(EventCore::new(self.sim))),
+        };
+        self
+    }
+
+    /// The engine backing this runner.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// Attach a stall plan.
@@ -144,16 +189,53 @@ impl<'a> Runner<'a> {
         self.run_inner(max_cycles, Some(hook))
     }
 
-    fn run_inner(&mut self, max_cycles: u64, mut hook: Option<&mut dyn DecisionHook>) -> Outcome {
+    fn run_inner(&mut self, max_cycles: u64, hook: Option<&mut dyn DecisionHook>) -> Outcome {
+        let outcome = self.run_loop(max_cycles, hook);
+        if let Some(ev) = self.event.as_mut() {
+            ev.settle_busy(&mut self.stats);
+        }
+        outcome
+    }
+
+    fn run_loop(&mut self, max_cycles: u64, mut hook: Option<&mut dyn DecisionHook>) -> Outcome {
+        // The event engine may fast-forward over provably idle cycles,
+        // but only when nothing observes individual cycles: no hook
+        // (fault injectors key liveness flips off per-cycle `adjust`
+        // calls), no stall plan, no skew model.
+        let can_skip = self.event.is_some()
+            && hook.is_none()
+            && self.stall_plan.is_empty()
+            && self.skew.is_none();
         while self.time < max_cycles {
-            if self.sim.all_delivered(&self.state) {
+            if let Some(ev) = self.event.as_ref() {
+                if ev.all_delivered() {
+                    return Outcome::Delivered { cycles: self.time };
+                }
+                if can_skip && ev.quiescent() {
+                    // Nothing can move before the next wheel release:
+                    // jump straight there (or to the budget).
+                    let target = ev.next_release().unwrap_or(max_cycles).min(max_cycles);
+                    if target > self.time {
+                        let delta = target - self.time;
+                        let ev = self.event.as_mut().expect("event core");
+                        ev.fast_forward(delta);
+                        self.time = target;
+                        self.stats.cycles = self.time;
+                        continue;
+                    }
+                }
+            } else if self.sim.all_delivered(&self.state) {
                 return Outcome::Delivered { cycles: self.time };
             }
             match hook {
                 Some(ref mut h) => self.step_inner(Some(&mut **h)),
                 None => self.step_inner(None),
             }
-            if let Some(members) = self.sim.find_deadlock(&self.state) {
+            let deadlock = match self.event.as_mut() {
+                Some(ev) => ev.check_deadlock(),
+                None => self.sim.find_deadlock(&self.state),
+            };
+            if let Some(members) = deadlock {
                 return Outcome::Deadlock {
                     members,
                     at_cycle: self.time,
@@ -170,15 +252,44 @@ impl<'a> Runner<'a> {
     /// Advance one cycle under the policy.
     pub fn step(&mut self) {
         self.step_inner(None);
+        self.settle_after_step();
     }
 
     /// [`Runner::step`] with a [`DecisionHook`] adjusting this cycle's
     /// decisions before arbitration.
     pub fn step_hooked(&mut self, hook: &mut dyn DecisionHook) {
         self.step_inner(Some(hook));
+        self.settle_after_step();
+    }
+
+    /// Externally observed steps must leave `stats` exact, so the
+    /// event engine settles its open busy intervals here; inside
+    /// [`Runner::run`] the settlement happens once, at exit.
+    fn settle_after_step(&mut self) {
+        if let Some(ev) = self.event.as_mut() {
+            ev.settle_busy(&mut self.stats);
+        }
     }
 
     fn step_inner(&mut self, hook: Option<&mut dyn DecisionHook>) {
+        if self.event.is_some() {
+            // Take/put-back so the core can borrow the runner's other
+            // fields mutably without aliasing.
+            let mut ev = self.event.take().expect("event core");
+            ev.step(
+                self.sim,
+                &mut self.state,
+                &mut self.stats,
+                &self.policy,
+                &self.stall_plan,
+                self.skew.as_ref(),
+                self.time,
+                hook,
+            );
+            self.event = Some(ev);
+            self.time += 1;
+            return;
+        }
         let sim = self.sim;
         let cycle = self.time;
         // Messages released by their inject_at times.
@@ -275,42 +386,69 @@ impl<'a> Runner<'a> {
     }
 
     fn pick_winner(&self, chan: ChannelId, reqs: &[MessageId]) -> MessageId {
-        match &self.policy {
-            ArbitrationPolicy::LowestId => reqs[0],
-            ArbitrationPolicy::RoundRobin => {
-                // Next requester after the previous winner, in id order.
-                match self.last_winner.get(&chan) {
-                    Some(&last) => reqs.iter().copied().find(|&m| m > last).unwrap_or(reqs[0]),
-                    None => reqs[0],
-                }
+        pick_winner(
+            &self.policy,
+            self.sim,
+            &self.waiting_since,
+            &self.last_winner,
+            self.time,
+            chan,
+            reqs,
+            &mut |m| self.sim.head_index(&self.state, m),
+        )
+    }
+}
+
+/// Arbitration, shared between the stepping runner and the event core
+/// so both engines pick byte-identical winners. `head_of` supplies the
+/// worm's furthest owned path index (`None` while pending) — the
+/// stepping path scans for it, the event core reads its cache.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pick_winner(
+    policy: &ArbitrationPolicy,
+    sim: &Sim,
+    waiting_since: &[Option<(ChannelId, u64)>],
+    last_winner: &BTreeMap<ChannelId, MessageId>,
+    time: u64,
+    chan: ChannelId,
+    reqs: &[MessageId],
+    head_of: &mut dyn FnMut(MessageId) -> Option<usize>,
+) -> MessageId {
+    match policy {
+        ArbitrationPolicy::LowestId => reqs[0],
+        ArbitrationPolicy::RoundRobin => {
+            // Next requester after the previous winner, in id order.
+            match last_winner.get(&chan) {
+                Some(&last) => reqs.iter().copied().find(|&m| m > last).unwrap_or(reqs[0]),
+                None => reqs[0],
             }
-            ArbitrationPolicy::OldestFirst => reqs
-                .iter()
+        }
+        ArbitrationPolicy::OldestFirst => reqs
+            .iter()
+            .copied()
+            .min_by_key(|&m| {
+                let since = match waiting_since[m.index()] {
+                    Some((c, t)) if c == chan => t,
+                    _ => time,
+                };
+                (since, m)
+            })
+            .expect("non-empty requests"),
+        ArbitrationPolicy::Adversarial { favored } => {
+            if let Some(&m) = favored.iter().find(|m| reqs.contains(m)) {
+                return m;
+            }
+            // Most remaining hops wins.
+            reqs.iter()
                 .copied()
-                .min_by_key(|&m| {
-                    let since = match self.waiting_since[m.index()] {
-                        Some((c, t)) if c == chan => t,
-                        _ => self.time,
+                .max_by_key(|&m| {
+                    let remaining = match head_of(m) {
+                        Some(h) => sim.path(m).len() - h,
+                        None => sim.path(m).len() + 1,
                     };
-                    (since, m)
+                    (remaining, std::cmp::Reverse(m))
                 })
-                .expect("non-empty requests"),
-            ArbitrationPolicy::Adversarial { favored } => {
-                if let Some(&m) = favored.iter().find(|m| reqs.contains(m)) {
-                    return m;
-                }
-                // Most remaining hops wins.
-                reqs.iter()
-                    .copied()
-                    .max_by_key(|&m| {
-                        let remaining = match self.sim.head_index(&self.state, m) {
-                            Some(h) => self.sim.path(m).len() - h,
-                            None => self.sim.path(m).len() + 1,
-                        };
-                        (remaining, std::cmp::Reverse(m))
-                    })
-                    .expect("non-empty requests")
-            }
+                .expect("non-empty requests")
         }
     }
 }

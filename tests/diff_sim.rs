@@ -1,0 +1,512 @@
+//! Differential suite: the event-driven core against the stepping
+//! oracle.
+//!
+//! `EngineKind::Event` promises **bit-identical** behaviour to the
+//! cycle-synchronous stepping engine — same outcomes, same final
+//! [`SimState`], same cycle counts, same [`Stats`], and the same
+//! `sim.*` trace counters — across every feature that reaches the
+//! engine: arbitration policies, stall plans, clock skew, decision
+//! hooks, and mid-run stats observation. This file holds that
+//! contract on the paper's constructions (Figures 1–3, dateline and
+//! clockwise rings) and on proptest-generated random topologies and
+//! workloads. Any divergence is an event-core bug by definition: the
+//! stepping engine is the model written straight from Section 3 of
+//! the paper.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cyclic_wormhole::core::paper::{fig1, fig2, fig3};
+use cyclic_wormhole::net::topology::{line, ring_unidirectional, ring_with_vcs, Mesh};
+use cyclic_wormhole::net::{Network, NodeId};
+use cyclic_wormhole::route::algorithms::{
+    clockwise_ring, dateline_ring, shortest_path_table, xy_mesh,
+};
+use cyclic_wormhole::route::TableRouting;
+use cyclic_wormhole::sim::hooks::DecisionHook;
+use cyclic_wormhole::sim::runner::{ArbitrationPolicy, EngineKind, Outcome, Runner, StallPlan};
+use cyclic_wormhole::sim::skew::SkewModel;
+use cyclic_wormhole::sim::{traffic, Decisions, MessageSpec, Sim, SimState};
+use cyclic_wormhole::trace::{MemoryRecorder, TraceReport};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// The wormtrace recorder is process-global; tests that install one
+/// must not interleave.
+fn trace_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Span totals are wall-clock and never bit-stable; zero them so
+/// reports compare on structure and counts only.
+fn normalized(mut report: TraceReport) -> TraceReport {
+    for stat in report.spans.values_mut() {
+        stat.total = std::time::Duration::ZERO;
+    }
+    report
+}
+
+/// Configuration for one differential run.
+#[derive(Clone, Default)]
+struct RunConfig {
+    stalls: Option<StallPlan>,
+    skew: Option<SkewModel>,
+}
+
+fn build_runner<'a>(
+    sim: &'a Sim,
+    policy: &ArbitrationPolicy,
+    cfg: &RunConfig,
+    kind: EngineKind,
+) -> Runner<'a> {
+    let mut r = Runner::new(sim, policy.clone()).with_engine(kind);
+    if let Some(stalls) = &cfg.stalls {
+        r = r.with_stalls(stalls.clone());
+    }
+    if let Some(skew) = &cfg.skew {
+        r = r.with_skew(skew.clone());
+    }
+    r
+}
+
+/// Run the scenario under both engines and assert every observable is
+/// bit-identical. Returns the (shared) outcome for callers that want
+/// to assert on it.
+fn assert_engines_agree(
+    label: &str,
+    sim: &Sim,
+    policy: &ArbitrationPolicy,
+    cfg: &RunConfig,
+    max_cycles: u64,
+) -> Outcome {
+    let mut stepping = build_runner(sim, policy, cfg, EngineKind::Stepping);
+    let oracle = stepping.run(max_cycles);
+    let mut event = build_runner(sim, policy, cfg, EngineKind::Event);
+    let candidate = event.run(max_cycles);
+
+    assert_eq!(
+        oracle, candidate,
+        "{label}/{policy:?}: outcome diverged between engines"
+    );
+    assert_eq!(
+        stepping.state(),
+        event.state(),
+        "{label}/{policy:?}: final state diverged"
+    );
+    assert_eq!(
+        stepping.time(),
+        event.time(),
+        "{label}/{policy:?}: cycle count diverged"
+    );
+    assert_eq!(
+        stepping.stats(),
+        event.stats(),
+        "{label}/{policy:?}: stats diverged"
+    );
+    oracle
+}
+
+/// All four arbitration policies; `favored` seeds the adversarial
+/// policy's priority list from the workload's own message ids.
+fn all_policies(sim: &Sim) -> Vec<ArbitrationPolicy> {
+    vec![
+        ArbitrationPolicy::LowestId,
+        ArbitrationPolicy::RoundRobin,
+        ArbitrationPolicy::OldestFirst,
+        ArbitrationPolicy::Adversarial {
+            favored: sim.messages().take(2).collect(),
+        },
+    ]
+}
+
+/// The paper constructions plus seeded random mesh traffic.
+fn workloads() -> Vec<(&'static str, Network, TableRouting, Vec<MessageSpec>)> {
+    let mut out = Vec::new();
+    let c = fig1::cyclic_dependency();
+    out.push(("fig1", c.net.clone(), c.table.clone(), c.message_specs()));
+    let c = fig2::two_message_deadlock();
+    out.push(("fig2", c.net.clone(), c.table.clone(), c.message_specs()));
+    for s in fig3::all_scenarios() {
+        let c = s.spec.build();
+        let specs = s.message_specs(&c);
+        out.push(("fig3", c.net.clone(), c.table.clone(), specs));
+    }
+    for seed in [3u64, 11, 42] {
+        let mesh = Mesh::new(&[4, 4]);
+        let table = xy_mesh(&mesh).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let specs = traffic::uniform_random(mesh.network(), &table, &mut rng, 0.3, 30, (2, 6));
+        out.push(("mesh4x4", mesh.network().clone(), table, specs));
+    }
+    out
+}
+
+#[test]
+fn figures_and_mesh_agree_under_all_policies() {
+    for (name, net, table, specs) in workloads() {
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+        for policy in all_policies(&sim) {
+            assert_engines_agree(name, &sim, &policy, &RunConfig::default(), 10_000);
+        }
+    }
+}
+
+#[test]
+fn deeper_queues_agree() {
+    for capacity in [2usize, 3] {
+        for (name, net, table, specs) in workloads() {
+            let sim = Sim::new(&net, &table, specs, Some(capacity)).expect("routed");
+            assert_engines_agree(
+                name,
+                &sim,
+                &ArbitrationPolicy::OldestFirst,
+                &RunConfig::default(),
+                10_000,
+            );
+        }
+    }
+}
+
+#[test]
+fn dateline_and_clockwise_rings_agree() {
+    // Clockwise unidirectional rings: all-around traffic deadlocks
+    // without virtual channels; the dateline split delivers. Both
+    // verdicts must be engine-independent.
+    for n in [3usize, 4, 6] {
+        let (net, nodes) = ring_unidirectional(n);
+        let table = clockwise_ring(&net, &nodes).expect("ring routes");
+        let specs: Vec<MessageSpec> = (0..n)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + n - 1) % n], 3))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+        for policy in all_policies(&sim) {
+            assert_engines_agree("clockwise", &sim, &policy, &RunConfig::default(), 10_000);
+        }
+    }
+    for n in [4usize, 5, 6] {
+        let (net, nodes) = ring_with_vcs(n, 2);
+        let table = dateline_ring(&net, &nodes).expect("dateline routes");
+        let specs: Vec<MessageSpec> = (0..n)
+            .map(|i| MessageSpec::new(nodes[i], nodes[(i + n - 1) % n], 3))
+            .collect();
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+        for policy in all_policies(&sim) {
+            let outcome =
+                assert_engines_agree("dateline", &sim, &policy, &RunConfig::default(), 10_000);
+            assert!(
+                matches!(outcome, Outcome::Delivered { .. }),
+                "dateline ring must deliver (n={n}, {policy:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn stall_plans_agree() {
+    for (name, net, table, specs) in workloads() {
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+        // Stall each message on a deterministic comb of cycles.
+        let mut plan = StallPlan::new();
+        for (i, m) in sim.messages().enumerate() {
+            let phase = (i as u64) % 5;
+            plan.insert(m, (0..8).map(|k| phase + 3 * k).collect());
+        }
+        let cfg = RunConfig {
+            stalls: Some(plan),
+            ..RunConfig::default()
+        };
+        for policy in all_policies(&sim) {
+            assert_engines_agree(name, &sim, &policy, &cfg, 10_000);
+        }
+    }
+}
+
+#[test]
+fn clock_skew_agrees() {
+    for (name, net, table, specs) in workloads() {
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+        let mut skew = SkewModel::none(&net);
+        for (i, node) in net.nodes().enumerate() {
+            if i % 2 == 0 {
+                let period = 4 + (i as u64 % 3);
+                skew = skew.with_pause(node, period, i as u64 % period);
+            }
+        }
+        let cfg = RunConfig {
+            skew: Some(skew),
+            ..RunConfig::default()
+        };
+        for policy in all_policies(&sim) {
+            assert_engines_agree(name, &sim, &policy, &cfg, 10_000);
+        }
+    }
+}
+
+/// A deterministic hook exercising every mutation the seam allows:
+/// pruning injections, stalling in-flight worms, and freezing
+/// channels — the same operations `wormfault` performs.
+struct ChaosHook {
+    victim_channel: usize,
+}
+
+impl DecisionHook for ChaosHook {
+    fn adjust(&mut self, sim: &Sim, state: &SimState, time: u64, d: &mut Decisions) {
+        if time.is_multiple_of(3) && !d.inject.is_empty() {
+            let keep = d.inject.len().div_ceil(2);
+            d.inject.truncate(keep);
+        }
+        if time % 5 == 1 {
+            if let Some(m) = sim
+                .messages()
+                .find(|&m| state.is_started(m) && !state.is_delivered(m, sim.length(m)))
+            {
+                if !d.stalls.contains(&m) {
+                    d.stalls.push(m);
+                }
+            }
+        }
+        if time % 7 == 2 {
+            let c = cyclic_wormhole::net::ChannelId::from_index(self.victim_channel);
+            if !d.frozen.contains(&c) {
+                d.frozen.push(c);
+            }
+        }
+    }
+}
+
+#[test]
+fn hooked_runs_agree() {
+    for (name, net, table, specs) in workloads() {
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+        let victim = net.channel_count() / 2;
+        for policy in all_policies(&sim) {
+            let mut stepping = Runner::new(&sim, policy.clone()).with_engine(EngineKind::Stepping);
+            let mut hook = ChaosHook {
+                victim_channel: victim,
+            };
+            let oracle = stepping.run_hooked(10_000, &mut hook);
+
+            let mut event = Runner::new(&sim, policy.clone()).with_engine(EngineKind::Event);
+            let mut hook = ChaosHook {
+                victim_channel: victim,
+            };
+            let candidate = event.run_hooked(10_000, &mut hook);
+
+            assert_eq!(oracle, candidate, "{name}/{policy:?}: hooked outcome");
+            assert_eq!(
+                stepping.state(),
+                event.state(),
+                "{name}/{policy:?}: hooked final state"
+            );
+            assert_eq!(
+                stepping.stats(),
+                event.stats(),
+                "{name}/{policy:?}: hooked stats"
+            );
+        }
+    }
+}
+
+/// Mid-run observation: `stats()` must be exact after every single
+/// step, not only at run end (the event core settles its interval
+/// accounting at observation points).
+#[test]
+fn lockstep_stats_agree_every_cycle() {
+    for (name, net, table, specs) in workloads() {
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+        let mut stepping =
+            Runner::new(&sim, ArbitrationPolicy::OldestFirst).with_engine(EngineKind::Stepping);
+        let mut event =
+            Runner::new(&sim, ArbitrationPolicy::OldestFirst).with_engine(EngineKind::Event);
+        for cycle in 0..300u64 {
+            stepping.step();
+            event.step();
+            assert_eq!(
+                stepping.state(),
+                event.state(),
+                "{name}: state diverged at cycle {cycle}"
+            );
+            assert_eq!(
+                stepping.stats(),
+                event.stats(),
+                "{name}: stats diverged at cycle {cycle}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_reports_agree() {
+    let _guard = trace_lock().lock().unwrap();
+    for (name, net, table, specs) in workloads() {
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+
+        let rec = Arc::new(MemoryRecorder::new());
+        cyclic_wormhole::trace::install(rec.clone());
+        let mut stepping =
+            Runner::new(&sim, ArbitrationPolicy::OldestFirst).with_engine(EngineKind::Stepping);
+        let _ = stepping.run(10_000);
+        cyclic_wormhole::trace::uninstall();
+        let oracle = normalized(rec.snapshot());
+
+        let rec = Arc::new(MemoryRecorder::new());
+        cyclic_wormhole::trace::install(rec.clone());
+        let mut event =
+            Runner::new(&sim, ArbitrationPolicy::OldestFirst).with_engine(EngineKind::Event);
+        let _ = event.run(10_000);
+        cyclic_wormhole::trace::uninstall();
+        let candidate = normalized(rec.snapshot());
+
+        assert_eq!(
+            oracle, candidate,
+            "{name}: sim.* trace counters diverged between engines"
+        );
+    }
+}
+
+fn arb_topology() -> impl Strategy<Value = (Network, Vec<NodeId>, TableRouting)> {
+    prop_oneof![
+        (2usize..6).prop_map(|n| {
+            let (net, nodes) = line(n);
+            let table = shortest_path_table(&net).expect("line routes");
+            (net, nodes, table)
+        }),
+        (3usize..6).prop_map(|n| {
+            let (net, nodes) = ring_unidirectional(n);
+            let table = clockwise_ring(&net, &nodes).expect("ring routes");
+            (net, nodes, table)
+        }),
+        (4usize..6).prop_map(|n| {
+            let (net, nodes) = ring_with_vcs(n, 2);
+            let table = dateline_ring(&net, &nodes).expect("dateline routes");
+            (net, nodes, table)
+        }),
+        ((2usize..4), (2usize..4)).prop_map(|(w, h)| {
+            let mesh = Mesh::new(&[w, h]);
+            let table = shortest_path_table(mesh.network()).expect("mesh routes");
+            let nodes: Vec<NodeId> = mesh.network().nodes().collect();
+            (mesh.into_network(), nodes, table)
+        }),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = ArbitrationPolicy> {
+    prop_oneof![
+        Just(ArbitrationPolicy::LowestId),
+        Just(ArbitrationPolicy::RoundRobin),
+        Just(ArbitrationPolicy::OldestFirst),
+        Just(ArbitrationPolicy::Adversarial { favored: vec![] }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary topology, traffic, capacity, policy, stall comb and
+    /// skew: both engines agree on everything observable.
+    #[test]
+    fn engines_agree_on_random_workloads(
+        (net, nodes, table) in arb_topology(),
+        raw_messages in prop::collection::vec((0usize..36, 0usize..36, 1usize..6), 1..6),
+        policy in arb_policy(),
+        capacity in 1usize..4,
+        stall_seed in any::<u32>(),
+        skew_period in prop_oneof![Just(None), (3u64..8).prop_map(Some)],
+    ) {
+        let specs: Vec<MessageSpec> = raw_messages
+            .iter()
+            .map(|&(s, d, len)| {
+                let src = nodes[s % nodes.len()];
+                let mut dst = nodes[d % nodes.len()];
+                if dst == src {
+                    dst = nodes[(d + 1) % nodes.len()];
+                }
+                MessageSpec::new(src, dst, len)
+            })
+            .filter(|m| table.path(m.src, m.dst).is_some())
+            .collect();
+        prop_assume!(!specs.is_empty());
+        let sim = Sim::new(&net, &table, specs, Some(capacity)).expect("routed");
+
+        // Deterministic stall comb derived from the seed.
+        let mut plan = StallPlan::new();
+        let mut x = stall_seed;
+        for m in sim.messages() {
+            x = x.wrapping_mul(2654435761).wrapping_add(12345);
+            if x.is_multiple_of(3) {
+                let phase = u64::from(x % 7);
+                plan.insert(m, (0..6).map(|k| phase + 2 * k).collect());
+            }
+        }
+        let mut skew = SkewModel::none(&net);
+        if let Some(period) = skew_period {
+            for (i, node) in net.nodes().enumerate() {
+                if i % 3 == 0 {
+                    skew = skew.with_pause(node, period, i as u64 % period);
+                }
+            }
+        }
+        let cfg = RunConfig { stalls: Some(plan), skew: Some(skew) };
+        assert_engines_agree("random", &sim, &policy, &cfg, 2_000);
+    }
+
+    /// Random decision sequences applied identically through the hook
+    /// seam on both engines (the hook overrides injections/stalls with
+    /// its own pseudo-random choices each cycle).
+    #[test]
+    fn engines_agree_under_random_hooks(
+        (net, nodes, table) in arb_topology(),
+        raw_messages in prop::collection::vec((0usize..36, 0usize..36, 1usize..5), 1..5),
+        words in prop::collection::vec(any::<u32>(), 1..32),
+    ) {
+        let specs: Vec<MessageSpec> = raw_messages
+            .iter()
+            .map(|&(s, d, len)| {
+                let src = nodes[s % nodes.len()];
+                let mut dst = nodes[d % nodes.len()];
+                if dst == src {
+                    dst = nodes[(d + 1) % nodes.len()];
+                }
+                MessageSpec::new(src, dst, len)
+            })
+            .filter(|m| table.path(m.src, m.dst).is_some())
+            .collect();
+        prop_assume!(!specs.is_empty());
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+
+        struct WordHook {
+            words: Vec<u32>,
+        }
+        impl DecisionHook for WordHook {
+            fn adjust(&mut self, sim: &Sim, state: &SimState, time: u64, d: &mut Decisions) {
+                let w = self.words[time as usize % self.words.len()]
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(time as u32);
+                d.inject.retain(|m| w & (1 << (m.index() % 16)) != 0);
+                for m in sim.messages() {
+                    if state.is_started(m)
+                        && !state.is_delivered(m, sim.length(m))
+                        && w & (1 << (16 + m.index() % 16)) != 0
+                        && !d.stalls.contains(&m)
+                    {
+                        d.stalls.push(m);
+                    }
+                }
+            }
+        }
+
+        let mut stepping = Runner::new(&sim, ArbitrationPolicy::OldestFirst)
+            .with_engine(EngineKind::Stepping);
+        let mut hook = WordHook { words: words.clone() };
+        let oracle = stepping.run_hooked(2_000, &mut hook);
+
+        let mut event = Runner::new(&sim, ArbitrationPolicy::OldestFirst)
+            .with_engine(EngineKind::Event);
+        let mut hook = WordHook { words };
+        let candidate = event.run_hooked(2_000, &mut hook);
+
+        prop_assert_eq!(oracle, candidate);
+        prop_assert_eq!(stepping.state(), event.state());
+        prop_assert_eq!(stepping.stats(), event.stats());
+    }
+}

@@ -22,7 +22,7 @@ use cyclic_wormhole::net::Network;
 use cyclic_wormhole::route::algorithms::xy_mesh;
 use cyclic_wormhole::route::TableRouting;
 use cyclic_wormhole::search::{explore, SearchConfig};
-use cyclic_wormhole::sim::runner::{ArbitrationPolicy, Outcome, Runner};
+use cyclic_wormhole::sim::runner::{ArbitrationPolicy, EngineKind, Outcome, Runner};
 use cyclic_wormhole::sim::{traffic, MessageSpec, Sim};
 use cyclic_wormhole::trace::{MemoryRecorder, TraceReport};
 use rand::SeedableRng;
@@ -87,36 +87,164 @@ fn outcomes_match(base: &Outcome, faulted: &FaultOutcome) -> bool {
 fn empty_plan_is_bit_identical_on_every_workload() {
     for (name, net, table, specs) in workloads() {
         let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
-        for policy in [ArbitrationPolicy::OldestFirst, ArbitrationPolicy::LowestId] {
-            let mut plain = Runner::new(&sim, policy.clone());
-            let base = plain.run(10_000);
+        for engine in [EngineKind::Stepping, EngineKind::Event] {
+            for policy in [ArbitrationPolicy::OldestFirst, ArbitrationPolicy::LowestId] {
+                let mut plain = Runner::new(&sim, policy.clone()).with_engine(engine);
+                let base = plain.run(10_000);
 
-            let mut faulted = FaultRunner::new(
-                &net,
-                &sim,
-                policy.clone(),
-                FaultPlan::new(),
-                RetryPolicy::Passive,
-            );
-            let under_fault = faulted.run(10_000);
+                let mut faulted = FaultRunner::new(
+                    &net,
+                    &sim,
+                    policy.clone(),
+                    FaultPlan::new(),
+                    RetryPolicy::Passive,
+                )
+                .with_engine(engine);
+                let under_fault = faulted.run(10_000);
 
-            assert!(
-                outcomes_match(&base, &under_fault),
-                "{name}/{policy:?}: outcome diverged: {base:?} vs {under_fault:?}"
-            );
-            assert_eq!(
-                plain.state(),
-                faulted.state(),
-                "{name}: final state diverged"
-            );
-            assert_eq!(plain.time(), faulted.time(), "{name}: step count diverged");
-            assert_eq!(plain.stats(), faulted.stats(), "{name}: stats diverged");
-            assert_eq!(
-                faulted.report(),
-                cyclic_wormhole::fault::FaultReport::default(),
-                "{name}: empty plan reported fault activity"
-            );
+                assert!(
+                    outcomes_match(&base, &under_fault),
+                    "{name}/{engine:?}/{policy:?}: outcome diverged: {base:?} vs {under_fault:?}"
+                );
+                assert_eq!(
+                    plain.state(),
+                    faulted.state(),
+                    "{name}/{engine:?}: final state diverged"
+                );
+                assert_eq!(
+                    plain.time(),
+                    faulted.time(),
+                    "{name}/{engine:?}: step count diverged"
+                );
+                assert_eq!(
+                    plain.stats(),
+                    faulted.stats(),
+                    "{name}/{engine:?}: stats diverged"
+                );
+                assert_eq!(
+                    faulted.report(),
+                    cyclic_wormhole::fault::FaultReport::default(),
+                    "{name}/{engine:?}: empty plan reported fault activity"
+                );
+            }
         }
+    }
+}
+
+/// Non-empty plans: the fault layer applies its plan through the
+/// decision-hook seam, so the *same* plan on the *same* workload must
+/// behave bit-identically under both engines — outcomes, final
+/// states, cycle counts, statistics, and the fault report itself
+/// (outages applied, drops fired, retries spent). This is the other
+/// half of the conformance story: `wormfault` results are
+/// engine-independent, so the event core can run degraded-topology
+/// re-verification at full speed.
+#[test]
+fn seeded_random_plans_agree_across_engines() {
+    for (name, net, table, specs) in workloads() {
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+        for seed in [1u64, 9, 23] {
+            let plan = FaultPlan::random(&net, seed, 2, 2, 400);
+            for retry in [
+                RetryPolicy::Passive,
+                RetryPolicy::Active {
+                    max_attempts: 3,
+                    backoff: 2,
+                },
+            ] {
+                let mut stepping = FaultRunner::new(
+                    &net,
+                    &sim,
+                    ArbitrationPolicy::OldestFirst,
+                    plan.clone(),
+                    retry.clone(),
+                )
+                .with_engine(EngineKind::Stepping);
+                let oracle = stepping.run(10_000);
+
+                let mut event = FaultRunner::new(
+                    &net,
+                    &sim,
+                    ArbitrationPolicy::OldestFirst,
+                    plan.clone(),
+                    retry.clone(),
+                )
+                .with_engine(EngineKind::Event);
+                let candidate = event.run(10_000);
+
+                assert_eq!(
+                    oracle, candidate,
+                    "{name}/seed{seed}/{retry:?}: fault outcome diverged between engines"
+                );
+                assert_eq!(
+                    stepping.state(),
+                    event.state(),
+                    "{name}/seed{seed}/{retry:?}: final state diverged"
+                );
+                assert_eq!(
+                    stepping.time(),
+                    event.time(),
+                    "{name}/seed{seed}/{retry:?}: cycle count diverged"
+                );
+                assert_eq!(
+                    stepping.stats(),
+                    event.stats(),
+                    "{name}/seed{seed}/{retry:?}: stats diverged"
+                );
+                assert_eq!(
+                    stepping.report(),
+                    event.report(),
+                    "{name}/seed{seed}/{retry:?}: fault report diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Hand-crafted plans hitting every event kind (outage windows,
+/// router stalls, flit drops, injection delay) with an aggressive
+/// retry budget: both engines must agree, including on abandoned
+/// messages in `DeliveredPartial`.
+#[test]
+fn crafted_plans_with_retry_backoff_agree_across_engines() {
+    for (name, net, table, specs) in workloads() {
+        let sim = Sim::new(&net, &table, specs, Some(1)).expect("routed");
+        let victim = cyclic_wormhole::net::ChannelId::from_index(net.channel_count() / 2);
+        let node = net.nodes().next().expect("nonempty network");
+        let msgs: Vec<_> = sim.messages().collect();
+        let mut plan = FaultPlan::new()
+            .channel_outage(victim, 2, 30)
+            .router_stall(node, 5, 8);
+        if let Some(&m) = msgs.first() {
+            plan = plan.inject_delay(m, 6).flit_drop(m, 12);
+        }
+        let retry = RetryPolicy::Active {
+            max_attempts: 2,
+            backoff: 1,
+        };
+
+        let mut stepping = FaultRunner::new(
+            &net,
+            &sim,
+            ArbitrationPolicy::OldestFirst,
+            plan.clone(),
+            retry.clone(),
+        )
+        .with_engine(EngineKind::Stepping);
+        let oracle = stepping.run(10_000);
+
+        let mut event = FaultRunner::new(&net, &sim, ArbitrationPolicy::OldestFirst, plan, retry)
+            .with_engine(EngineKind::Event);
+        let candidate = event.run(10_000);
+
+        assert_eq!(oracle, candidate, "{name}: crafted-plan outcome diverged");
+        assert_eq!(stepping.state(), event.state(), "{name}: state diverged");
+        assert_eq!(stepping.stats(), event.stats(), "{name}: stats diverged");
+        assert_eq!(
+            stepping.report(),
+            event.report(),
+            "{name}: fault report diverged"
+        );
     }
 }
 
