@@ -21,7 +21,12 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Instant;
 
-use crate::scenarios::{search_scenarios, sim_scenarios, SearchScenario, SimScenario};
+use crate::scenarios::{
+    large_topology_scenarios, search_scenarios, sim_scenarios, SearchScenario, SimScenario,
+    TopologyScenario,
+};
+use worm_core::classify::{classify_algorithm, AlgorithmVerdict, ClassifyOptions};
+use wormcdg::{Cdg, CdgBuilder};
 use wormsearch::{explore, SearchResult, Verdict};
 use wormsim::runner::{EngineKind, Runner};
 
@@ -212,13 +217,125 @@ fn run_search_scenario(report: &mut BenchReport, s: &SearchScenario, smoke: bool
 
 /// Run the search suite headlessly. `smoke` caps every search at a
 /// small state budget so CI can validate the harness in seconds; full
-/// runs explore each scenario to completion.
+/// runs explore each scenario to completion. The cluster-scale
+/// topology workloads (`topo_*` entries) ride along: smoke runs
+/// measure the downscaled instances, full runs the 10^5-channel ones.
 pub fn run_search_suite(smoke: bool) -> BenchReport {
     let mut report = BenchReport::new("search");
     for s in search_scenarios() {
         run_search_scenario(&mut report, &s, smoke);
     }
+    for s in large_topology_scenarios(smoke) {
+        run_topo_scenario(&mut report, &s);
+    }
     report
+}
+
+/// Run only the cluster-scale topology workloads (the `topo_*`
+/// entries of the search suite) into a fresh report — the `exp_topo`
+/// binary's engine.
+pub fn run_topo_suite(smoke: bool) -> BenchReport {
+    let mut report = BenchReport::new("search");
+    for s in large_topology_scenarios(smoke) {
+        run_topo_scenario(&mut report, &s);
+    }
+    report
+}
+
+/// Cycle budget for the `topo_*` entries: on the deliberately
+/// deadlock-prone instance the full cycle count is astronomical, and a
+/// handful suffices to exhibit (not exhaust) the refutation.
+const TOPO_MAX_CYCLES: usize = 8;
+
+/// Candidate budget per cycle for the `topo_*` entries. At cluster
+/// scale a single cycle's edges carry thousands of witness messages;
+/// the verdicts don't depend on exhausting them (Corollary 1 and the
+/// theorem certificates land within the first few).
+const TOPO_MAX_CANDIDATES: usize = 256;
+
+/// Label for an [`AlgorithmVerdict`], mirroring
+/// `wormlint::StaticVerdict::name` spelling.
+fn algorithm_verdict_label(v: &AlgorithmVerdict) -> &'static str {
+    match v {
+        AlgorithmVerdict::DeadlockFreeAcyclic { .. } => "free-acyclic",
+        AlgorithmVerdict::DeadlockFreeWithCycles { .. } => "free-cyclic",
+        AlgorithmVerdict::Deadlockable { .. } => "deadlockable",
+        AlgorithmVerdict::Unknown { .. } => "unknown",
+    }
+}
+
+/// Measure one cluster-scale topology scenario: batch CDG build,
+/// incremental (Pearce–Kelly) construction, bounded cycle streaming,
+/// whole-algorithm classification, and the wormlint static verdict.
+/// Structural keys (`channels`, `cdg_edges`, `cycles_found`, both
+/// verdicts) are exactly reproducible; `*_ms` keys are timings.
+fn run_topo_scenario(report: &mut BenchReport, s: &TopologyScenario) {
+    let name = s.name.as_str();
+    report.insert(
+        name,
+        "channels",
+        BenchValue::Int(s.net.channel_count() as u64),
+    );
+
+    let start = Instant::now();
+    let cdg = Cdg::build(&s.net, &s.table);
+    let cdg_build_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.insert(
+        name,
+        "cdg_build_ms",
+        BenchValue::Float(cdg_build_ms.round()),
+    );
+    report.insert(name, "cdg_edges", BenchValue::Int(cdg.edge_count() as u64));
+
+    let start = Instant::now();
+    let mut builder = CdgBuilder::new(&s.net);
+    builder.add_table(&s.table);
+    let incscc_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.insert(name, "incscc_ms", BenchValue::Float(incscc_ms.round()));
+    assert_eq!(
+        builder.is_acyclic(),
+        cdg.is_acyclic(),
+        "{name}: incremental and batch acyclicity disagree"
+    );
+
+    let (cycles, _complete) = cdg.cycles_streamed(TOPO_MAX_CYCLES);
+    report.insert(name, "cycles_found", BenchValue::Int(cycles.len() as u64));
+
+    let opts = ClassifyOptions {
+        max_cycles: TOPO_MAX_CYCLES,
+        max_candidates: TOPO_MAX_CANDIDATES,
+        use_search: false,
+        ..ClassifyOptions::default()
+    };
+    let start = Instant::now();
+    let verdict = classify_algorithm(&s.net, &s.table, &opts);
+    let classify_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.insert(name, "classify_ms", BenchValue::Float(classify_ms.round()));
+    report.insert(
+        name,
+        "verdict",
+        BenchValue::Str(algorithm_verdict_label(&verdict).into()),
+    );
+
+    let config = wormlint::LintConfig {
+        max_cycles: TOPO_MAX_CYCLES,
+        max_candidates: TOPO_MAX_CANDIDATES,
+        ..wormlint::LintConfig::default()
+    };
+    let start = Instant::now();
+    let lint = wormlint::Registry::with_default_lints().run(&s.net, &s.table, &config);
+    let lint_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.insert(name, "lint_ms", BenchValue::Float(lint_ms.round()));
+    report.insert(
+        name,
+        "lint_verdict",
+        BenchValue::Str(lint.verdict.name().into()),
+    );
+    assert_eq!(
+        lint.verdict.name(),
+        s.expected_verdict,
+        "{name}: wormlint must certify the expected verdict"
+    );
 }
 
 /// One engine's measurement of a sim scenario: the structural values
@@ -426,6 +543,31 @@ mod tests {
         assert!(fig1.contains_key("states"));
         assert!(fig1.contains_key("canon_states"));
         assert!(fig1.contains_key("reduction"));
+        for name in [
+            "topo_dragonfly_min",
+            "topo_fattree_updown",
+            "topo_fullmesh_vcfree",
+            "topo_dragonfly_novc",
+        ] {
+            let entry = &search.entries[name];
+            for key in [
+                "channels",
+                "cdg_edges",
+                "cycles_found",
+                "verdict",
+                "lint_verdict",
+            ] {
+                assert!(entry.contains_key(key), "{name} missing {key}");
+            }
+        }
+        assert_eq!(
+            search.entries["topo_dragonfly_min"]["lint_verdict"],
+            BenchValue::Str("free-acyclic".into())
+        );
+        assert_eq!(
+            search.entries["topo_dragonfly_novc"]["lint_verdict"],
+            BenchValue::Str("deadlockable".into())
+        );
 
         let sim = run_sim_suite(true);
         assert!(sim.entries.contains_key("fig1_adversarial"));

@@ -12,9 +12,12 @@
 //! instead of a JSON diff.
 
 use wormlint::{LintConfig, LintReport, Registry, StaticVerdict};
-use wormnet::topology::{ring_unidirectional, ring_with_vcs, Mesh};
+use wormnet::topology::{complete, ring_unidirectional, ring_with_vcs, Dragonfly, FatTree, Mesh};
 use wormnet::Network;
-use wormroute::algorithms::{clockwise_ring, dateline_ring, dimension_order};
+use wormroute::algorithms::{
+    clockwise_ring, dateline_ring, dimension_order, dragonfly_minimal, fattree_updown,
+    fullmesh_vcfree,
+};
 use wormroute::TableRouting;
 
 use worm_core::paper::{fig1, fig2, fig3, generalized};
@@ -83,12 +86,44 @@ impl LintTarget {
     }
 }
 
-/// The full corpus, sorted by name: Figure 1, Figure 2, the six
-/// Figure 3 scenarios, `G(1..=5)`, and three reference specs (DOR on a
-/// 3×3 mesh, the clockwise unidirectional 4-ring, and an 8-ring under
-/// two-lane dateline routing).
+/// The full corpus, sorted by name: the cluster-scale topology engines
+/// (downscaled dragonfly minimal, its no-VC misconfiguration, a k=4
+/// fat-tree under up*/down*, the VC-free full mesh), Figure 1,
+/// Figure 2, the six Figure 3 scenarios, `G(1..=5)`, and three
+/// reference specs (DOR on a 3×3 mesh, the clockwise unidirectional
+/// 4-ring, and an 8-ring under two-lane dateline routing).
 pub fn corpus() -> Vec<LintTarget> {
     let mut out = Vec::new();
+
+    let df = Dragonfly::new(5, 4);
+    let table = dragonfly_minimal(&df).expect("dragonfly routes");
+    out.push(LintTarget::new(
+        "dragonfly_minimal",
+        df.into_network(),
+        table,
+        StaticVerdict::FreeAcyclic,
+        &["W102", "W208"],
+    ));
+
+    let df = Dragonfly::with_lanes(3, 2, &[0], &[0]);
+    let table = dragonfly_minimal(&df).expect("dragonfly routes");
+    out.push(LintTarget::new(
+        "dragonfly_novc",
+        df.into_network(),
+        table,
+        StaticVerdict::Deadlockable,
+        &["W105", "W201", "W202"],
+    ));
+
+    let ft = FatTree::new(4);
+    let table = fattree_updown(&ft).expect("fat-tree routes");
+    out.push(LintTarget::new(
+        "fattree_updown",
+        ft.into_network(),
+        table,
+        StaticVerdict::FreeAcyclic,
+        &["W003", "W102", "W103", "W105", "W209"],
+    ));
 
     let c = fig1::cyclic_dependency();
     out.push(LintTarget::new(
@@ -129,6 +164,16 @@ pub fn corpus() -> Vec<LintTarget> {
             codes,
         ));
     }
+
+    let (net, nodes) = complete(9);
+    let table = fullmesh_vcfree(&net, &nodes).expect("full mesh routes");
+    out.push(LintTarget::new(
+        "fullmesh_vcfree",
+        net,
+        table,
+        StaticVerdict::FreeAcyclic,
+        &["W004", "W101", "W102", "W103", "W209"],
+    ));
 
     for k in 1..=5 {
         let c = generalized::generalized(k);

@@ -33,6 +33,15 @@ impl Cdg {
                 edges.entry((w[0], w[1])).or_default().push(pair);
             }
         }
+        Cdg::from_edges(channel_count, edges)
+    }
+
+    /// Assemble a CDG from an already-collected edge map (shared by
+    /// [`Cdg::build`] and the incremental [`crate::CdgBuilder`]).
+    pub(crate) fn from_edges(
+        channel_count: usize,
+        edges: BTreeMap<(ChannelId, ChannelId), Vec<MsgPair>>,
+    ) -> Self {
         let mut adj = vec![Vec::new(); channel_count];
         for &(c1, c2) in edges.keys() {
             adj[c1.index()].push(c2.index());
@@ -100,14 +109,27 @@ impl Cdg {
     /// Elementary cycles, aborting with `None` if more than
     /// `max_cycles` exist.
     pub fn cycles_bounded(&self, max_cycles: usize) -> Option<Vec<CdgCycle>> {
-        let raw = graph::elementary_cycles_bounded(self, max_cycles)?;
-        Some(
-            raw.into_iter()
-                .map(|vs| CdgCycle {
-                    channels: vs.into_iter().map(ChannelId::from_index).collect(),
-                })
-                .collect(),
-        )
+        let (cycles, complete) = self.cycles_streamed(max_cycles);
+        complete.then_some(cycles)
+    }
+
+    /// Stream elementary cycles, keeping at most `max_cycles` of them.
+    ///
+    /// Returns the collected prefix and whether it is *complete*
+    /// (fewer than or exactly `max_cycles` cycles exist). Unlike
+    /// [`Cdg::cycles_bounded`], an over-budget enumeration still hands
+    /// back the witnesses it found — on the cluster-scale fabrics a
+    /// single reachable cycle decides the verdict, so enumeration can
+    /// stop long before the (possibly astronomical) full count.
+    pub fn cycles_streamed(&self, max_cycles: usize) -> (Vec<CdgCycle>, bool) {
+        let (raw, complete) = graph::elementary_cycles_prefix(self, max_cycles);
+        let cycles = raw
+            .into_iter()
+            .map(|vs| CdgCycle {
+                channels: vs.into_iter().map(ChannelId::from_index).collect(),
+            })
+            .collect();
+        (cycles, complete)
     }
 
     /// The CDG after the `down` channels fail: every edge incident to

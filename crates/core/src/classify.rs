@@ -411,6 +411,20 @@ pub fn classify_cycle(
     opts: &ClassifyOptions,
 ) -> CycleVerdict {
     let minimal = properties::is_minimal(net, table);
+    classify_cycle_with_minimal(net, table, cdg, cycle, minimal, opts)
+}
+
+/// [`classify_cycle`] with the (table-wide, hence hoistable) minimality
+/// predicate precomputed — classifying many cycles of one algorithm
+/// must not redo the all-pairs shortest-path comparison per cycle.
+fn classify_cycle_with_minimal(
+    net: &Network,
+    table: &TableRouting,
+    cdg: &Cdg,
+    cycle: CdgCycle,
+    minimal: bool,
+    opts: &ClassifyOptions,
+) -> CycleVerdict {
     let (candidates, enumeration_complete) = enumerate_candidates(cdg, &cycle, opts.max_candidates);
     let mut verdicts = Vec::with_capacity(candidates.len());
     for cand in candidates {
@@ -442,17 +456,20 @@ pub fn classify_algorithm(
         wormtrace::counter("classify.acyclic", 1);
         return AlgorithmVerdict::DeadlockFreeAcyclic { numbering };
     }
-    let Some(cycles) = cdg.cycles_bounded(opts.max_cycles) else {
-        return AlgorithmVerdict::Unknown { cycles: Vec::new() };
-    };
+    // Stream a bounded prefix of the elementary cycles: a reachable
+    // deadlock among the prefix already decides "deadlockable", while
+    // the free-with-cycles verdict additionally needs the enumeration
+    // to have been complete.
+    let (cycles, enumeration_complete) = cdg.cycles_streamed(opts.max_cycles);
+    let minimal = properties::is_minimal(net, table);
     let verdicts: Vec<CycleVerdict> = cycles
         .into_iter()
-        .map(|cycle| classify_cycle(net, table, &cdg, cycle, opts))
+        .map(|cycle| classify_cycle_with_minimal(net, table, &cdg, cycle, minimal, opts))
         .collect();
 
     if verdicts.iter().any(|v| v.reachable() == Some(true)) {
         AlgorithmVerdict::Deadlockable { cycles: verdicts }
-    } else if verdicts.iter().all(|v| v.reachable() == Some(false)) {
+    } else if enumeration_complete && verdicts.iter().all(|v| v.reachable() == Some(false)) {
         AlgorithmVerdict::DeadlockFreeWithCycles { cycles: verdicts }
     } else {
         AlgorithmVerdict::Unknown { cycles: verdicts }

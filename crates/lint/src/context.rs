@@ -85,9 +85,13 @@ pub struct LintContext<'a> {
     pub properties: PropertyReport,
     /// The channel dependency graph.
     pub cdg: Cdg,
-    /// Elementary CDG cycles with candidate analyses; `None` when the
-    /// cycle budget was exceeded.
-    pub cycles: Option<Vec<CycleAnalysis>>,
+    /// Elementary CDG cycles with candidate analyses (the first
+    /// `max_cycles` in streamed order when the budget ran out).
+    pub cycles: Vec<CycleAnalysis>,
+    /// Whether `cycles` holds *every* elementary cycle. When `false`
+    /// the cycle budget was exceeded: `Deadlockable` findings remain
+    /// sound, but the spec can never be certified free.
+    pub cycles_complete: bool,
 }
 
 impl<'a> LintContext<'a> {
@@ -101,17 +105,15 @@ impl<'a> LintContext<'a> {
     ) -> Self {
         let props = properties::analyze(net, table);
         let cdg = Cdg::build(net, table);
-        let cycles = if cdg.is_acyclic() {
-            Some(Vec::new())
+        let (cycles, cycles_complete) = if cdg.is_acyclic() {
+            (Vec::new(), true)
         } else {
-            cdg.cycles_bounded(max_cycles).map(|cycles| {
-                cycles
-                    .into_iter()
-                    .map(|cycle| {
-                        analyze_cycle(net, table, &cdg, cycle, props.minimal, max_candidates)
-                    })
-                    .collect()
-            })
+            let (raw, complete) = cdg.cycles_streamed(max_cycles);
+            let analyzed = raw
+                .into_iter()
+                .map(|cycle| analyze_cycle(net, table, &cdg, cycle, props.minimal, max_candidates))
+                .collect();
+            (analyzed, complete)
         };
         LintContext {
             net,
@@ -119,14 +121,14 @@ impl<'a> LintContext<'a> {
             properties: props,
             cdg,
             cycles,
+            cycles_complete,
         }
     }
 
-    /// Iterate every candidate analysis across all cycles.
+    /// Iterate every candidate analysis across all enumerated cycles.
     pub fn candidates(&self) -> impl Iterator<Item = (&CycleAnalysis, &CandidateAnalysis)> {
         self.cycles
             .iter()
-            .flatten()
             .flat_map(|cy| cy.candidates.iter().map(move |ca| (cy, ca)))
     }
 }
@@ -206,10 +208,10 @@ mod tests {
         let table = clockwise_ring(&net, &nodes).unwrap();
         let ctx = LintContext::build(&net, &table, 10_000, 10_000);
         assert!(!ctx.cdg.is_acyclic());
-        let cycles = ctx.cycles.as_ref().unwrap();
-        assert_eq!(cycles.len(), 1);
-        assert!(!cycles[0].candidates.is_empty());
-        for ca in &cycles[0].candidates {
+        assert!(ctx.cycles_complete);
+        assert_eq!(ctx.cycles.len(), 1);
+        assert!(!ctx.cycles[0].candidates.is_empty());
+        for ca in &ctx.cycles[0].candidates {
             assert!(matches!(ca.class, StaticClass::NoOutsideSharing));
             assert_eq!(ca.class.reachable(), Some(true));
         }

@@ -6,8 +6,10 @@
 //! |---|---|---|
 //! | `W0xx` | [`structure`] | network/table integrity |
 //! | `W1xx` | [`routing`] | routing-function properties (Definitions 7–9, Corollary 1) |
-//! | `W2xx` | [`theorems`] | CDG cycles and the Section 5 theorems |
+//! | `W201`–`W207` | [`theorems`] | CDG cycles and the Section 5 theorems |
+//! | `W208`–`W209` | [`certificates`] | positive Dally–Seitz numbering certificates |
 
+pub mod certificates;
 pub mod routing;
 pub mod structure;
 pub mod theorems;
@@ -36,6 +38,8 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
         Box::new(theorems::Theorem5Reachable),
         Box::new(theorems::Theorem3MinimalAllShare),
         Box::new(theorems::OutOfScopeCycle),
+        Box::new(certificates::VcMonotoneCertificate),
+        Box::new(certificates::DownUpCertificate),
     ]
 }
 

@@ -32,8 +32,15 @@ impl Lint for NonMinimalRoute {
     fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
         let mut count = 0usize;
         let mut worst: Option<((wormnet::NodeId, wormnet::NodeId), usize, usize)> = None;
+        // The table iterates grouped by source, so one BFS per source
+        // serves every pair it originates (vs. one BFS per pair).
+        let mut cached: Option<(wormnet::NodeId, Vec<Option<usize>>)> = None;
         for (&pair, path) in ctx.table.iter() {
-            let Some(dist) = ctx.net.hop_distance(pair.0, pair.1) else {
+            if cached.as_ref().map(|(s, _)| *s) != Some(pair.0) {
+                cached = Some((pair.0, ctx.net.distances_from(pair.0)));
+            }
+            let (_, from_src) = cached.as_ref().expect("cache was just refreshed");
+            let Some(dist) = from_src[pair.1.index()] else {
                 continue; // W003 reports disconnection
             };
             if path.len() > dist {

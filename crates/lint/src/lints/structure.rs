@@ -168,25 +168,50 @@ impl Lint for DeadChannel {
         Severity::Warn
     }
     fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
+        // Past this many dead channels, collapse into one summary
+        // diagnostic: a deliberately partial table (e.g. switch-only
+        // fat-tree routing) would otherwise drown the report.
+        const PER_CHANNEL_LIMIT: usize = 16;
         let mut used = vec![false; ctx.net.channel_count()];
         for (_, path) in ctx.table.iter() {
             for c in path.channels() {
                 used[c.index()] = true;
             }
         }
-        ctx.net
+        let dead: Vec<_> = ctx
+            .net
             .channels()
             .filter(|c| !used[c.id().index()])
-            .map(|c| {
-                Diagnostic::new(
-                    self.code(),
-                    self.name(),
-                    severity,
-                    format!("channel {c} is used by no routed path"),
-                )
-                .entity("channel", c)
-            })
-            .collect()
+            .collect();
+        if dead.len() <= PER_CHANNEL_LIMIT {
+            return dead
+                .into_iter()
+                .map(|c| {
+                    Diagnostic::new(
+                        self.code(),
+                        self.name(),
+                        severity,
+                        format!("channel {c} is used by no routed path"),
+                    )
+                    .entity("channel", c)
+                })
+                .collect();
+        }
+        let mut d = Diagnostic::new(
+            self.code(),
+            self.name(),
+            severity,
+            format!(
+                "{} of {} channels are used by no routed path",
+                dead.len(),
+                ctx.net.channel_count(),
+            ),
+        )
+        .fact("dead_channels", dead.len());
+        for (i, c) in dead.iter().take(3).enumerate() {
+            d = d.entity("channel", c).fact(format!("example_{i}"), c);
+        }
+        vec![d]
     }
 }
 

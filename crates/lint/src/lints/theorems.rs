@@ -98,10 +98,7 @@ impl Lint for CdgCycleCensus {
         Severity::Allow
     }
     fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
-        let Some(cycles) = &ctx.cycles else {
-            return Vec::new(); // budget exceeded: W207 reports it
-        };
-        cycles
+        ctx.cycles
             .iter()
             .map(|cy| {
                 let mut reachable = 0usize;
@@ -390,17 +387,22 @@ impl Lint for OutOfScopeCycle {
         Severity::Warn
     }
     fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
-        let Some(cycles) = &ctx.cycles else {
-            return vec![Diagnostic::new(
-                self.code(),
-                self.name(),
-                severity,
-                "CDG cycle enumeration budget exceeded: the spec cannot be statically classified"
-                    .to_string(),
-            )];
-        };
         let mut out = Vec::new();
-        for cy in cycles {
+        if !ctx.cycles_complete {
+            out.push(
+                Diagnostic::new(
+                    self.code(),
+                    self.name(),
+                    severity,
+                    format!(
+                        "CDG cycle enumeration budget exceeded after {} cycle(s): the spec cannot be certified free statically",
+                        ctx.cycles.len(),
+                    ),
+                )
+                .fact("cycles_enumerated", ctx.cycles.len()),
+            );
+        }
+        for cy in &ctx.cycles {
             if !cy.enumeration_complete {
                 out.push(
                     Diagnostic::new(

@@ -240,10 +240,13 @@ fn verdict(ctx: &LintContext<'_>) -> StaticVerdict {
     if ctx.cdg.is_acyclic() {
         return StaticVerdict::FreeAcyclic;
     }
-    let Some(cycles) = &ctx.cycles else {
-        return StaticVerdict::Undecided;
-    };
-    let mut open = cycles.iter().any(|cy| !cy.enumeration_complete);
+    // Corollary 1: a node-function algorithm admits no false resource
+    // cycles, so a cyclic CDG alone certifies a reachable deadlock —
+    // no cycle enumeration needed (W105 carries the explanation).
+    if ctx.properties.node_function {
+        return StaticVerdict::Deadlockable;
+    }
+    let mut open = !ctx.cycles_complete || ctx.cycles.iter().any(|cy| !cy.enumeration_complete);
     let mut deadlock = false;
     for (_, ca) in ctx.candidates() {
         match ca.class.reachable() {

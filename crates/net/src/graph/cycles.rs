@@ -16,17 +16,89 @@ use super::{tarjan_scc, AdjList, Digraph};
 /// first, so output is canonical. Cycles are unique up to rotation.
 ///
 /// Use [`elementary_cycles_bounded`] when the graph may contain an
-/// exponential number of cycles.
+/// exponential number of cycles, or [`elementary_cycles_visit`] to
+/// stream cycles without materializing them.
 pub fn elementary_cycles(g: &impl Digraph) -> Vec<Vec<usize>> {
-    elementary_cycles_bounded(g, usize::MAX).expect("unbounded enumeration cannot overflow")
+    let mut cycles = Vec::new();
+    elementary_cycles_visit(g, |c| {
+        cycles.push(c.to_vec());
+        true
+    });
+    canonicalize(&mut cycles);
+    cycles
 }
 
 /// Enumerate elementary cycles, aborting with `None` if more than
 /// `max_cycles` are found (protects analyses against pathological
 /// dependency graphs).
+///
+/// Prefer [`elementary_cycles_prefix`] when a truncated-but-usable
+/// prefix is better than an all-or-nothing answer.
 pub fn elementary_cycles_bounded(g: &impl Digraph, max_cycles: usize) -> Option<Vec<Vec<usize>>> {
+    let (cycles, complete) = elementary_cycles_prefix(g, max_cycles);
+    complete.then_some(cycles)
+}
+
+/// Enumerate up to `max_cycles` elementary cycles, reporting whether
+/// the enumeration ran to completion.
+///
+/// Returns `(cycles, complete)`: when `complete` is `true` the list is
+/// *every* elementary cycle of `g` (at most `max_cycles` of them);
+/// when `false` the graph has more cycles than the budget and the list
+/// is the first `max_cycles` found. A truncated prefix is still
+/// useful — any reachable deadlock cycle in it certifies the verdict
+/// regardless of the cycles never enumerated — which is what makes
+/// static classification of ~10^6-channel CDGs tractable.
+pub fn elementary_cycles_prefix(g: &impl Digraph, max_cycles: usize) -> (Vec<Vec<usize>>, bool) {
+    let mut cycles = Vec::new();
+    let complete = elementary_cycles_visit(g, |c| {
+        if cycles.len() < max_cycles {
+            cycles.push(c.to_vec());
+            true
+        } else {
+            false
+        }
+    });
+    canonicalize(&mut cycles);
+    (cycles, complete)
+}
+
+/// Rotate each cycle so its minimum vertex is first, then sort and
+/// deduplicate for deterministic output.
+fn canonicalize(cycles: &mut Vec<Vec<usize>>) {
+    for c in cycles.iter_mut() {
+        let (min_pos, _) = c
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &v)| v)
+            .expect("cycles are non-empty");
+        c.rotate_left(min_pos);
+    }
+    cycles.sort();
+    cycles.dedup();
+}
+
+/// Stream the elementary cycles of `g` through a visitor without
+/// materializing the full set — the scale-friendly core the collecting
+/// functions above are built on.
+///
+/// The visitor receives each cycle as a vertex slice (minimum vertex
+/// first) and returns `true` to continue or `false` to stop the
+/// enumeration. Returns `true` when every elementary cycle was
+/// visited, `false` when the visitor stopped early. Self-loop cycles
+/// (`[v]`) are visited first in vertex order; the remaining cycles
+/// arrive grouped by their least vertex in increasing order.
+pub fn elementary_cycles_visit(g: &impl Digraph, mut visit: impl FnMut(&[usize]) -> bool) -> bool {
     let n = g.vertex_count();
-    let mut cycles: Vec<Vec<usize>> = Vec::new();
+
+    // Self-loops are elementary cycles of length 1; the wormhole model
+    // forbids them at network level but a dependency graph could
+    // theoretically have them, so visit and then exclude them.
+    for v in 0..n {
+        if g.successors(v).contains(&v) && !visit(&[v]) {
+            return false;
+        }
+    }
 
     // Johnson processes vertices in increasing order; at step `s` it
     // searches the SCC (within the subgraph induced by {s..n}) that
@@ -39,15 +111,6 @@ pub fn elementary_cycles_bounded(g: &impl Digraph, max_cycles: usize) -> Option<
             for w in g.successors(v) {
                 if w >= start && w != v {
                     sub.add_edge(v, w);
-                }
-            }
-            // Self-loops are elementary cycles of length 1; the wormhole
-            // model forbids them at network level but a dependency graph
-            // could theoretically have them, so record and skip.
-            if g.successors(v).contains(&v) && v == start {
-                cycles.push(vec![v]);
-                if cycles.len() > max_cycles {
-                    return None;
                 }
             }
         }
@@ -88,34 +151,21 @@ pub fn elementary_cycles_bounded(g: &impl Digraph, max_cycles: usize) -> Option<
             })
             .collect();
 
-        if !circuit_iterative(s, &adj, n, &mut cycles, max_cycles) {
-            return None;
+        if !circuit_iterative(s, &adj, n, &mut visit) {
+            return false;
         }
         start = s + 1;
     }
-
-    // Canonicalize: rotate each cycle so its minimum vertex is first.
-    for c in &mut cycles {
-        let (min_pos, _) = c
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &v)| v)
-            .expect("cycles are non-empty");
-        c.rotate_left(min_pos);
-    }
-    cycles.sort();
-    cycles.dedup();
-    Some(cycles)
+    true
 }
 
 /// Johnson's CIRCUIT procedure, iterative. Returns `false` if the
-/// cycle budget was exhausted.
+/// visitor stopped the enumeration.
 fn circuit_iterative(
     s: usize,
     adj: &[Vec<usize>],
     n: usize,
-    cycles: &mut Vec<Vec<usize>>,
-    max_cycles: usize,
+    visit: &mut impl FnMut(&[usize]) -> bool,
 ) -> bool {
     let mut blocked = vec![false; n];
     let mut b_sets: Vec<HashSet<usize>> = vec![HashSet::new(); n];
@@ -141,8 +191,7 @@ fn circuit_iterative(
             let w = adj[v][frame.pos];
             frame.pos += 1;
             if w == s {
-                cycles.push(path.clone());
-                if cycles.len() > max_cycles {
+                if !visit(&path) {
                     return false;
                 }
                 frame.found = true;
@@ -297,6 +346,67 @@ mod tests {
         );
         let cycles = elementary_cycles(&g);
         assert_eq!(cycles.len(), 4);
+    }
+
+    #[test]
+    fn prefix_reports_completeness() {
+        let mut edges = Vec::new();
+        for u in 0..5 {
+            for v in 0..5 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = AdjList::from_edges(5, &edges);
+        let all = elementary_cycles(&g);
+        let (complete_set, complete) = elementary_cycles_prefix(&g, all.len());
+        assert!(complete);
+        assert_eq!(complete_set, all);
+        let (prefix, complete) = elementary_cycles_prefix(&g, 3);
+        assert!(!complete);
+        assert_eq!(prefix.len(), 3);
+        // Every prefix cycle is a genuine cycle of the full set.
+        for c in &prefix {
+            assert!(all.contains(c), "{c:?} not an elementary cycle");
+        }
+    }
+
+    #[test]
+    fn visitor_can_stop_and_sees_min_first_rotations() {
+        let g = AdjList::from_edges(4, &[(1, 2), (2, 3), (3, 1), (1, 3), (3, 2), (2, 1)]);
+        let mut seen = 0usize;
+        let complete = elementary_cycles_visit(&g, |c| {
+            assert_eq!(
+                *c.iter().min().unwrap(),
+                c[0],
+                "cycles arrive minimum-vertex first"
+            );
+            seen += 1;
+            seen < 2
+        });
+        assert!(!complete);
+        assert_eq!(seen, 2);
+        let total = elementary_cycles(&g).len();
+        assert!(total > 2);
+        let mut streamed = 0usize;
+        assert!(elementary_cycles_visit(&g, |_| {
+            streamed += 1;
+            true
+        }));
+        assert_eq!(streamed, total);
+    }
+
+    #[test]
+    fn self_loops_away_from_scc_minimums_are_streamed() {
+        // Self-loop at vertex 1 while the only non-trivial SCC is
+        // {2, 3}: the loop must still be enumerated.
+        let mut g = AdjList::from_edges(4, &[(2, 3), (3, 2), (0, 2)]);
+        g.add_edge(1, 1);
+        let cycles = elementary_cycles(&g);
+        assert!(cycles.contains(&vec![1]));
+        assert!(cycles.contains(&vec![2, 3]));
+        assert_eq!(cycles.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! Incremental strongly connected components for edge-by-edge graph
+//! construction.
+//!
+//! The CDG of a cluster-scale routing table is built one dependency at
+//! a time while streaming the table's paths. Rebuilding Tarjan after
+//! every insertion is quadratic; [`IncrementalScc`] instead maintains
+//! a topological order over the condensation (the DAG of components)
+//! in the style of Pearce & Kelly's online topological ordering,
+//! extended to merge components when an insertion closes a cycle:
+//!
+//! * an edge `u → v` that respects the current order is recorded in
+//!   O(1);
+//! * an order-violating edge triggers a *bounded* double search —
+//!   forward from `v` and backward from `u`, restricted to components
+//!   ordered between them — after which either the affected region is
+//!   locally reordered (no cycle) or the components on a `v ⇒ u` path
+//!   are unioned into one (cycle detected).
+//!
+//! The result answers acyclicity, component membership and component
+//! counts at any point during construction, which is what
+//! `wormcdg::CdgBuilder` uses to certify Dally–Seitz freedom while a
+//! ~10^6-channel dependency graph is still being assembled.
+//! Differential tests hold it to [`tarjan_scc`] on random insertion
+//! sequences.
+//!
+//! [`tarjan_scc`]: super::tarjan_scc
+
+/// Online strongly-connected-component tracker over a fixed vertex
+/// set, fed one directed edge at a time.
+#[derive(Clone, Debug)]
+pub struct IncrementalScc {
+    /// Union-find parent per vertex; roots are component
+    /// representatives.
+    parent: Vec<usize>,
+    /// Position of each *root* in the maintained topological order of
+    /// the condensation. Positions are comparable keys, not dense.
+    pos: Vec<usize>,
+    /// Outgoing edge targets per root (raw vertex ids; resolved
+    /// through `find` at traversal time).
+    out: Vec<Vec<usize>>,
+    /// Incoming edge sources per root (raw vertex ids).
+    inc: Vec<Vec<usize>>,
+    /// Number of live components.
+    components: usize,
+    /// Number of vertices with a self-loop edge.
+    self_loops: usize,
+    /// Per-root edge-list length at its last compaction, the
+    /// amortization floor: a merged list is only re-compacted after it
+    /// doubles, so total compaction work stays linear in total edge
+    /// traffic instead of quadratic in merge events.
+    compact_floor: Vec<usize>,
+}
+
+impl IncrementalScc {
+    /// A tracker for `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        IncrementalScc {
+            parent: (0..n).collect(),
+            pos: (0..n).collect(),
+            out: vec![Vec::new(); n],
+            inc: vec![Vec::new(); n],
+            components: n,
+            self_loops: 0,
+            compact_floor: vec![0; n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Number of strongly connected components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Whether the graph built so far is acyclic (no component merger
+    /// and no self-loop has occurred).
+    pub fn is_acyclic(&self) -> bool {
+        self.components == self.vertex_count() && self.self_loops == 0
+    }
+
+    /// The component representative of `v` (no path compression; safe
+    /// on a shared reference).
+    pub fn find(&self, mut v: usize) -> usize {
+        while self.parent[v] != v {
+            v = self.parent[v];
+        }
+        v
+    }
+
+    /// Whether `u` and `v` are currently in the same component.
+    pub fn same_component(&self, u: usize, v: usize) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Insert the edge `u → v`. Returns `true` when the insertion
+    /// created or extended a cycle (components merged, or `u == v`).
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.vertex_count() && v < self.vertex_count());
+        if u == v {
+            self.self_loops += 1;
+            return true;
+        }
+        let (ru, rv) = (self.find_compress(u), self.find_compress(v));
+        if ru == rv {
+            return true;
+        }
+        if self.pos[ru] < self.pos[rv] {
+            // Order already consistent: record and done.
+            self.out[ru].push(v);
+            self.inc[rv].push(u);
+            return false;
+        }
+        // Affected region: components positioned between rv and ru.
+        // Forward closure of rv and backward closure of ru inside it.
+        let lo = self.pos[rv];
+        let hi = self.pos[ru];
+        let fwd = self.closure(rv, lo, hi, true);
+        let bwd = self.closure(ru, lo, hi, false);
+        self.out[ru].push(v);
+        self.inc[rv].push(u);
+
+        // Components in both closures lie on a v ⇒ u path: with the
+        // new u → v edge they form one SCC.
+        let bwd_set: std::collections::HashSet<usize> = bwd.iter().copied().collect();
+        let merged: Vec<usize> = fwd
+            .iter()
+            .copied()
+            .filter(|r| bwd_set.contains(r))
+            .collect();
+        let cycle = !merged.is_empty();
+        let root = if cycle { self.union_all(&merged) } else { ru };
+
+        // Reorder the affected region, reusing the sorted pool of its
+        // old positions so everything outside keeps its relationships.
+        // Backward-closure components keep their relative order in the
+        // *smallest* slots (each only moves down — safe against their
+        // outside successors), forward-closure components keep theirs
+        // in the *largest* slots (each only moves up — safe against
+        // their outside predecessors), and a merged component takes a
+        // slot strictly between the two (the merge frees at least one).
+        let mut b_side: Vec<usize> = bwd.iter().copied().filter(|r| self.is_root(*r)).collect();
+        let mut f_side: Vec<usize> = fwd.iter().copied().filter(|r| self.is_root(*r)).collect();
+        b_side.retain(|&r| !cycle || r != root);
+        f_side.retain(|&r| !cycle || r != root);
+        let mut pool: Vec<usize> = fwd.iter().chain(bwd.iter()).map(|&r| self.pos[r]).collect();
+        pool.sort_unstable();
+        pool.dedup();
+        b_side.sort_by_key(|&r| self.pos[r]);
+        f_side.sort_by_key(|&r| self.pos[r]);
+        debug_assert!(pool.len() >= b_side.len() + f_side.len() + usize::from(cycle));
+        for (i, &r) in b_side.iter().enumerate() {
+            self.pos[r] = pool[i];
+        }
+        let f_base = pool.len() - f_side.len();
+        for (i, &r) in f_side.iter().enumerate() {
+            self.pos[r] = pool[f_base + i];
+        }
+        if cycle {
+            self.pos[root] = pool[b_side.len()];
+        }
+        cycle
+    }
+
+    /// The current partition into components, each sorted, ordered by
+    /// smallest member — the same canonical form differential tests
+    /// use for Tarjan's output.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.vertex_count();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for v in 0..n {
+            groups[self.find(v)].push(v);
+        }
+        let mut out: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+
+    fn is_root(&self, v: usize) -> bool {
+        self.parent[v] == v
+    }
+
+    /// Union-find lookup with path compression.
+    fn find_compress(&mut self, v: usize) -> usize {
+        let root = self.find(v);
+        let mut cur = v;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Component roots reachable from `start` (forward or backward)
+    /// through components whose positions lie in `[lo, hi]`,
+    /// including `start` itself.
+    ///
+    /// Traversed edge entries are resolved with path compression and
+    /// rewritten in place to their current representative: a component
+    /// that has absorbed thousands of merges would otherwise make
+    /// every later scan of its adjacency re-walk deep union-find
+    /// chains, which is what turns a cluster-scale cyclic CDG
+    /// quadratic.
+    fn closure(&mut self, start: usize, lo: usize, hi: usize, forward: bool) -> Vec<usize> {
+        let mut member = std::collections::HashSet::from([start]);
+        let mut seen = vec![start];
+        let mut stack = vec![start];
+        while let Some(r) = stack.pop() {
+            let mut edges = std::mem::take(if forward {
+                &mut self.out[r]
+            } else {
+                &mut self.inc[r]
+            });
+            for t in edges.iter_mut() {
+                let rt = self.find_compress(*t);
+                *t = rt;
+                if self.pos[rt] < lo || self.pos[rt] > hi || !member.insert(rt) {
+                    continue;
+                }
+                seen.push(rt);
+                stack.push(rt);
+            }
+            if forward {
+                self.out[r] = edges;
+            } else {
+                self.inc[r] = edges;
+            }
+        }
+        seen
+    }
+
+    /// Union the listed roots into one component, concatenating their
+    /// edge lists onto the surviving root. Returns that root.
+    ///
+    /// The merged lists are compacted — entries are resolved to their
+    /// component representative, intra-component edges are dropped and
+    /// duplicates collapsed — so the condensation degree of a large
+    /// component stays proportional to its *distinct* neighbours, not
+    /// to the raw edges absorbed into it. Without this the dominant
+    /// component of a deeply cyclic CDG is rescanned in full by every
+    /// later order-violating insertion, which is quadratic at cluster
+    /// scale.
+    fn union_all(&mut self, roots: &[usize]) -> usize {
+        let survivor = roots[0];
+        for &r in &roots[1..] {
+            self.parent[r] = survivor;
+            let out = std::mem::take(&mut self.out[r]);
+            self.out[survivor].extend(out);
+            let inc = std::mem::take(&mut self.inc[r]);
+            self.inc[survivor].extend(inc);
+            self.components -= 1;
+        }
+        let grown = self.out[survivor].len().max(self.inc[survivor].len());
+        if grown >= 16.max(2 * self.compact_floor[survivor]) {
+            for forward in [true, false] {
+                let mut edges = std::mem::take(if forward {
+                    &mut self.out[survivor]
+                } else {
+                    &mut self.inc[survivor]
+                });
+                for t in edges.iter_mut() {
+                    *t = self.find(*t);
+                }
+                edges.sort_unstable();
+                edges.dedup();
+                edges.retain(|&t| t != survivor);
+                if forward {
+                    self.out[survivor] = edges;
+                } else {
+                    self.inc[survivor] = edges;
+                }
+            }
+            self.compact_floor[survivor] = self.out[survivor].len().max(self.inc[survivor].len());
+        }
+        survivor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{tarjan_scc, AdjList};
+    use super::*;
+
+    /// Canonical form of Tarjan output for comparison.
+    fn tarjan_canonical(g: &AdjList) -> Vec<Vec<usize>> {
+        let mut comps = tarjan_scc(g);
+        for c in &mut comps {
+            c.sort_unstable();
+        }
+        comps.sort_by_key(|c| c[0]);
+        comps
+    }
+
+    #[test]
+    fn stays_acyclic_on_forward_edges() {
+        let mut s = IncrementalScc::new(4);
+        assert!(!s.add_edge(0, 1));
+        assert!(!s.add_edge(1, 2));
+        assert!(!s.add_edge(2, 3));
+        assert!(s.is_acyclic());
+        assert_eq!(s.component_count(), 4);
+    }
+
+    #[test]
+    fn detects_the_closing_edge_of_a_cycle() {
+        let mut s = IncrementalScc::new(3);
+        assert!(!s.add_edge(0, 1));
+        assert!(!s.add_edge(1, 2));
+        assert!(s.add_edge(2, 0));
+        assert!(!s.is_acyclic());
+        assert_eq!(s.component_count(), 1);
+        assert!(s.same_component(0, 2));
+    }
+
+    #[test]
+    fn order_violating_edge_without_cycle_reorders() {
+        let mut s = IncrementalScc::new(4);
+        s.add_edge(0, 1);
+        s.add_edge(2, 3);
+        // 3 → 0 violates the initial 0,1,2,3 order but closes nothing.
+        assert!(!s.add_edge(3, 0));
+        assert!(s.is_acyclic());
+        // 1 → 2 closes 1→2→3→0→1 through the reordered region.
+        assert!(s.add_edge(1, 2));
+        assert_eq!(s.component_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_break_acyclicity() {
+        let mut s = IncrementalScc::new(2);
+        assert!(s.add_edge(1, 1));
+        assert!(!s.is_acyclic());
+        assert_eq!(s.component_count(), 2, "self-loops merge nothing");
+    }
+
+    #[test]
+    fn two_cycles_merge_into_one_component_via_bridge() {
+        let mut s = IncrementalScc::new(6);
+        for (u, v) in [(0, 1), (1, 0), (3, 4), (4, 3)] {
+            s.add_edge(u, v);
+        }
+        assert_eq!(s.component_count(), 4);
+        s.add_edge(1, 3);
+        assert_eq!(s.component_count(), 4);
+        assert!(s.add_edge(4, 0), "closing the bridge merges both cycles");
+        assert_eq!(s.component_count(), 3);
+        assert!(s.same_component(0, 4));
+        assert!(!s.same_component(0, 5));
+    }
+
+    #[test]
+    fn differential_against_tarjan_on_random_sequences() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for case in 0..60 {
+            let n = rng.random_range(2..12);
+            let mut inc = IncrementalScc::new(n);
+            let mut g = AdjList::new(n);
+            let edges = rng.random_range(0..30);
+            for _ in 0..edges {
+                let u = rng.random_range(0..n);
+                let v = rng.random_range(0..n);
+                if u == v {
+                    continue;
+                }
+                g.add_edge(u, v);
+                inc.add_edge(u, v);
+                let expect = tarjan_canonical(&g);
+                assert_eq!(
+                    inc.components(),
+                    expect,
+                    "case {case}: divergence after edge {u}->{v}"
+                );
+                assert_eq!(
+                    inc.is_acyclic(),
+                    expect.len() == n,
+                    "case {case}: acyclicity divergence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_ascending_then_descending_insertions() {
+        // Adversarial for the reordering logic: first a long chain,
+        // then back edges from high to low, merging everything.
+        let n = 40;
+        let mut s = IncrementalScc::new(n);
+        for v in 0..n - 1 {
+            assert!(!s.add_edge(v, v + 1));
+        }
+        assert!(s.is_acyclic());
+        assert!(s.add_edge(n - 1, 0));
+        assert_eq!(s.component_count(), 1);
+        let comps = s.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+    }
+}

@@ -10,11 +10,15 @@
 //! asymptotically good algorithms (Tarjan, Johnson).
 
 mod cycles;
+mod incremental;
 mod paths;
 mod scc;
 mod topo;
 
-pub use cycles::{elementary_cycles, elementary_cycles_bounded};
+pub use cycles::{
+    elementary_cycles, elementary_cycles_bounded, elementary_cycles_prefix, elementary_cycles_visit,
+};
+pub use incremental::IncrementalScc;
 pub use paths::{bfs_distances, bfs_path, reachable_from};
 pub use scc::tarjan_scc;
 pub use topo::{is_acyclic, topological_order};

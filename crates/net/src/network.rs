@@ -246,6 +246,18 @@ impl Network {
         graph::bfs_distances(&NodeGraph(self), src.index())[dst.index()]
     }
 
+    /// Hop distances from one source to every node (one BFS).
+    /// `result[v.index()]` is `None` when `v` is unreachable.
+    ///
+    /// Analyses that judge many pairs against shortest paths (routing
+    /// minimality, the W101 lint) group their queries by source and
+    /// call this once per distinct source — per-pair
+    /// [`Network::hop_distance`] calls repeat the BFS and do not scale
+    /// to the cluster-size topologies.
+    pub fn distances_from(&self, src: NodeId) -> Vec<Option<usize>> {
+        graph::bfs_distances(&NodeGraph(self), src.index())
+    }
+
     /// All-pairs hop distances via repeated BFS. `result[u][v]`.
     pub fn all_pairs_distances(&self) -> Vec<Vec<Option<usize>>> {
         (0..self.node_count())

@@ -1,0 +1,244 @@
+//! Dragonfly topologies: fully connected groups of routers joined by
+//! a fully connected global-link layer.
+//!
+//! This is the switch-level dragonfly of Kim et al. as deployed by the
+//! cluster fabrics studied in Maglione-Mathey et al. (see PAPERS.md):
+//! `g` groups of `a` routers each, every group a full mesh over local
+//! channels, and exactly one global physical link between every pair
+//! of groups, hosted by routers chosen round-robin inside each group.
+//!
+//! Virtual-channel lanes are a builder parameter because dragonfly
+//! deadlock freedom lives entirely in the *routing engine's* lane
+//! discipline: the same physical graph is deadlock-free under
+//! VC-ordered minimal routing (`local_lanes = [0, 2]`,
+//! `global_lanes = [1]`) and deadlockable when every hop shares lane 0
+//! (`local_lanes = [0]`, `global_lanes = [0]`). Lane numbers are
+//! chosen so a compliant engine's hops use strictly increasing lanes,
+//! which is exactly the certificate wormlint's W208 checks.
+
+use crate::{ChannelId, Network, NodeId};
+
+/// A dragonfly network: `groups` fully meshed groups of
+/// `routers_per_group` routers, one global link per group pair.
+#[derive(Clone, Debug)]
+pub struct Dragonfly {
+    net: Network,
+    groups: usize,
+    routers_per_group: usize,
+    local_lanes: Vec<u8>,
+    global_lanes: Vec<u8>,
+}
+
+impl Dragonfly {
+    /// Build a dragonfly with the canonical deadlock-free lane
+    /// assignment for *minimal* (local–global–local) routing:
+    /// local lanes `[0, 2]`, global lane `[1]`.
+    pub fn new(groups: usize, routers_per_group: usize) -> Self {
+        Self::with_lanes(groups, routers_per_group, &[0, 2], &[1])
+    }
+
+    /// Build a dragonfly with the lane assignment required by Valiant
+    /// (local–global–local–global–local) routing: local lanes
+    /// `[0, 2, 4]`, global lanes `[1, 3]`.
+    pub fn new_valiant(groups: usize, routers_per_group: usize) -> Self {
+        Self::with_lanes(groups, routers_per_group, &[0, 2, 4], &[1, 3])
+    }
+
+    /// Build a dragonfly with explicit virtual-channel lanes for the
+    /// local and global links. Every local (intra-group) physical link
+    /// gets one channel per entry of `local_lanes` in each direction,
+    /// every global link one channel per entry of `global_lanes`.
+    ///
+    /// # Panics
+    /// Panics when `groups < 2`, `routers_per_group < 2`, or either
+    /// lane list is empty — construction bugs, not runtime conditions.
+    pub fn with_lanes(
+        groups: usize,
+        routers_per_group: usize,
+        local_lanes: &[u8],
+        global_lanes: &[u8],
+    ) -> Self {
+        assert!(groups >= 2, "a dragonfly needs at least two groups");
+        assert!(
+            routers_per_group >= 2,
+            "a dragonfly group needs at least two routers"
+        );
+        assert!(!local_lanes.is_empty(), "local_lanes must be non-empty");
+        assert!(!global_lanes.is_empty(), "global_lanes must be non-empty");
+        let mut net = Network::new();
+        for g in 0..groups {
+            for r in 0..routers_per_group {
+                net.add_node(format!("d({g},{r})"));
+            }
+        }
+        let node = |g: usize, r: usize| NodeId::from_index(g * routers_per_group + r);
+        // Local layer: every group is a full mesh.
+        for g in 0..groups {
+            for a in 0..routers_per_group {
+                for b in 0..routers_per_group {
+                    if a != b {
+                        for &lane in local_lanes {
+                            net.add_channel_vc(node(g, a), node(g, b), lane);
+                        }
+                    }
+                }
+            }
+        }
+        // Global layer: one physical link per unordered group pair,
+        // hosted round-robin across each group's routers.
+        for gi in 0..groups {
+            for gj in (gi + 1)..groups {
+                let ri = global_router(gi, gj, routers_per_group);
+                let rj = global_router(gj, gi, routers_per_group);
+                for &lane in global_lanes {
+                    net.add_channel_vc(node(gi, ri), node(gj, rj), lane);
+                    net.add_channel_vc(node(gj, rj), node(gi, ri), lane);
+                }
+            }
+        }
+        Dragonfly {
+            net,
+            groups,
+            routers_per_group,
+            local_lanes: local_lanes.to_vec(),
+            global_lanes: global_lanes.to_vec(),
+        }
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Routers per group.
+    pub fn routers_per_group(&self) -> usize {
+        self.routers_per_group
+    }
+
+    /// Virtual-channel lanes on local (intra-group) links, in the hop
+    /// order a compliant engine consumes them.
+    pub fn local_lanes(&self) -> &[u8] {
+        &self.local_lanes
+    }
+
+    /// Virtual-channel lanes on global (inter-group) links.
+    pub fn global_lanes(&self) -> &[u8] {
+        &self.global_lanes
+    }
+
+    /// The router `r` of group `g`.
+    pub fn node(&self, g: usize, r: usize) -> NodeId {
+        assert!(g < self.groups && r < self.routers_per_group);
+        NodeId::from_index(g * self.routers_per_group + r)
+    }
+
+    /// `(group, router)` coordinates of a node.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        let i = node.index();
+        (i / self.routers_per_group, i % self.routers_per_group)
+    }
+
+    /// The router of group `from` that hosts the global link toward
+    /// group `to`.
+    pub fn gateway(&self, from: usize, to: usize) -> NodeId {
+        assert!(from != to, "no global link inside a group");
+        self.node(from, global_router(from, to, self.routers_per_group))
+    }
+
+    /// The global channel from group `from` to group `to` on `lane`.
+    pub fn global_channel(&self, from: usize, to: usize, lane: u8) -> Option<ChannelId> {
+        self.net
+            .find_channel_vc(self.gateway(from, to), self.gateway(to, from), lane)
+    }
+
+    /// Borrow the underlying network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Consume the builder, returning the network.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+}
+
+/// Round-robin host router inside `from` for the global link toward
+/// `to`: groups other than `from` are numbered consecutively
+/// (skipping `from` itself) and dealt across the group's routers.
+fn global_router(from: usize, to: usize, routers_per_group: usize) -> usize {
+    debug_assert_ne!(from, to);
+    let offset = if to < from { to } else { to - 1 };
+    offset % routers_per_group
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_closed_forms() {
+        let df = Dragonfly::new(5, 4);
+        assert_eq!(df.network().node_count(), 20);
+        // Local: g * a * (a-1) directed pairs * 2 lanes; global:
+        // g*(g-1)/2 links * 2 directions * 1 lane.
+        assert_eq!(df.network().channel_count(), 5 * 4 * 3 * 2 + 5 * 4);
+        assert!(df.network().is_strongly_connected());
+    }
+
+    #[test]
+    #[allow(clippy::identity_op)] // g*a*(a-1)*lanes with a-1 == 1: keep the formula shape
+    fn valiant_lanes_add_channels() {
+        let df = Dragonfly::new_valiant(3, 2);
+        assert_eq!(df.local_lanes(), &[0, 2, 4]);
+        assert_eq!(df.global_lanes(), &[1, 3]);
+        assert_eq!(df.network().channel_count(), 3 * 2 * 1 * 3 + 3 * 2 * 2);
+    }
+
+    #[test]
+    fn names_and_coords_roundtrip() {
+        let df = Dragonfly::new(4, 3);
+        let n = df.node(2, 1);
+        assert_eq!(df.network().node_name(n), "d(2,1)");
+        assert_eq!(df.coords(n), (2, 1));
+        assert_eq!(df.network().node_by_name("d(3,2)"), Some(df.node(3, 2)));
+    }
+
+    #[test]
+    fn every_group_pair_has_exactly_one_global_link() {
+        let df = Dragonfly::new(6, 3);
+        for gi in 0..6 {
+            for gj in 0..6 {
+                if gi == gj {
+                    continue;
+                }
+                let c = df.global_channel(gi, gj, 1).expect("global link");
+                let (sg, _) = df.coords(df.network().channel(c).src());
+                let (dg, _) = df.coords(df.network().channel(c).dst());
+                assert_eq!((sg, dg), (gi, gj));
+            }
+        }
+    }
+
+    #[test]
+    fn gateways_are_dealt_round_robin() {
+        // Group 0 of a 5-group, 2-router dragonfly hosts links to
+        // groups 1..5 on routers 0,1,0,1.
+        let df = Dragonfly::new(5, 2);
+        assert_eq!(df.gateway(0, 1), df.node(0, 0));
+        assert_eq!(df.gateway(0, 2), df.node(0, 1));
+        assert_eq!(df.gateway(0, 3), df.node(0, 0));
+        assert_eq!(df.gateway(0, 4), df.node(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two groups")]
+    fn single_group_panics() {
+        Dragonfly::new(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two routers")]
+    fn single_router_groups_panic() {
+        Dragonfly::new(3, 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! k-ary fat-trees (folded Clos), switch-level: the three-tier
+//! core/aggregation/edge fabric of data-center clusters.
+//!
+//! Nodes are switches only — wormhole channels exist between switches,
+//! and routing engines route between edge switches (hosts hang off
+//! edge switches and add nothing to the deadlock analysis). Tiers are
+//! laid out core-first so node indices *decrease* toward the roots:
+//! every up-hop strictly decreases the node index and every down-hop
+//! strictly increases it. Up*/down* routing therefore produces paths
+//! whose node indices descend then ascend — the two-block acyclicity
+//! certificate wormlint's W209 checks.
+
+use crate::{Network, NodeId};
+
+/// Which tier a fat-tree switch belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FatTreeTier {
+    /// Root tier: `(k/2)^2` core switches.
+    Core,
+    /// Middle tier: `k/2` aggregation switches per pod.
+    Aggregation,
+    /// Leaf tier: `k/2` edge switches per pod.
+    Edge,
+}
+
+/// A k-ary three-tier fat-tree of switches: `k` pods of `k/2` edge and
+/// `k/2` aggregation switches, over `(k/2)^2` cores.
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    net: Network,
+    k: usize,
+}
+
+impl FatTree {
+    /// Build the `k`-ary fat-tree. `k` must be even and at least 2.
+    ///
+    /// Channel layout: edge `e` of pod `p` links to every aggregation
+    /// switch of pod `p`; aggregation switch `i` of any pod links to
+    /// cores `i*(k/2) .. i*(k/2)+k/2`. All links are bidirectional
+    /// channel pairs on lane 0 (up*/down* needs no virtual channels),
+    /// `k^3` channels in total.
+    ///
+    /// # Panics
+    /// Panics when `k` is odd or below 2 — construction bugs.
+    pub fn new(k: usize) -> Self {
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and >= 2"
+        );
+        let half = k / 2;
+        let mut net = Network::new();
+        for c in 0..half * half {
+            net.add_node(format!("core{c}"));
+        }
+        for p in 0..k {
+            for i in 0..half {
+                net.add_node(format!("agg({p},{i})"));
+            }
+        }
+        for p in 0..k {
+            for e in 0..half {
+                net.add_node(format!("edge({p},{e})"));
+            }
+        }
+        for p in 0..k {
+            for i in 0..half {
+                let agg = NodeId::from_index(half * half + p * half + i);
+                for e in 0..half {
+                    let edge = NodeId::from_index(half * half + k * half + p * half + e);
+                    net.add_bidi(edge, agg);
+                }
+                for j in 0..half {
+                    let core = NodeId::from_index(i * half + j);
+                    net.add_bidi(agg, core);
+                }
+            }
+        }
+        FatTree { net, k }
+    }
+
+    /// The arity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of pods (`k`).
+    pub fn pods(&self) -> usize {
+        self.k
+    }
+
+    /// Switches per tier per pod (`k/2`).
+    pub fn half(&self) -> usize {
+        self.k / 2
+    }
+
+    /// Core switch `c` (of `(k/2)^2`).
+    pub fn core(&self, c: usize) -> NodeId {
+        let half = self.half();
+        assert!(c < half * half);
+        NodeId::from_index(c)
+    }
+
+    /// Aggregation switch `i` of pod `p`.
+    pub fn agg(&self, p: usize, i: usize) -> NodeId {
+        let half = self.half();
+        assert!(p < self.k && i < half);
+        NodeId::from_index(half * half + p * half + i)
+    }
+
+    /// Edge switch `e` of pod `p`.
+    pub fn edge(&self, p: usize, e: usize) -> NodeId {
+        let half = self.half();
+        assert!(p < self.k && e < half);
+        NodeId::from_index(half * half + self.k * half + p * half + e)
+    }
+
+    /// The tier of a switch.
+    pub fn tier(&self, node: NodeId) -> FatTreeTier {
+        let half = self.half();
+        let i = node.index();
+        if i < half * half {
+            FatTreeTier::Core
+        } else if i < half * half + self.k * half {
+            FatTreeTier::Aggregation
+        } else {
+            FatTreeTier::Edge
+        }
+    }
+
+    /// `(pod, index)` of an aggregation or edge switch.
+    ///
+    /// # Panics
+    /// Panics on core switches, which belong to no pod.
+    pub fn pod_coords(&self, node: NodeId) -> (usize, usize) {
+        let half = self.half();
+        let i = match self.tier(node) {
+            FatTreeTier::Core => panic!("core switches belong to no pod"),
+            FatTreeTier::Aggregation => node.index() - half * half,
+            FatTreeTier::Edge => node.index() - half * half - self.k * half,
+        };
+        (i / half, i % half)
+    }
+
+    /// Borrow the underlying network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Consume the builder, returning the network.
+    pub fn into_network(self) -> Network {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_closed_forms() {
+        let ft = FatTree::new(4);
+        // (k/2)^2 cores + k*(k/2) aggs + k*(k/2) edges = 4 + 8 + 8.
+        assert_eq!(ft.network().node_count(), 20);
+        // k^3 channels: k*(k/2)*(k/2) edge-agg pairs * 2 directions,
+        // same again agg-core.
+        assert_eq!(ft.network().channel_count(), 64);
+        assert!(ft.network().is_strongly_connected());
+    }
+
+    #[test]
+    fn tiers_are_ordered_core_first() {
+        let ft = FatTree::new(4);
+        assert_eq!(ft.tier(ft.core(0)), FatTreeTier::Core);
+        assert_eq!(ft.tier(ft.agg(1, 0)), FatTreeTier::Aggregation);
+        assert_eq!(ft.tier(ft.edge(3, 1)), FatTreeTier::Edge);
+        // Up-hops strictly decrease the node index.
+        assert!(ft.core(3).index() < ft.agg(0, 0).index());
+        assert!(ft.agg(3, 1).index() < ft.edge(0, 0).index());
+    }
+
+    #[test]
+    fn pod_coords_roundtrip() {
+        let ft = FatTree::new(6);
+        assert_eq!(ft.pod_coords(ft.agg(4, 2)), (4, 2));
+        assert_eq!(ft.pod_coords(ft.edge(5, 0)), (5, 0));
+        assert_eq!(ft.network().node_name(ft.edge(5, 0)), "edge(5,0)");
+        assert_eq!(ft.network().node_name(ft.core(8)), "core8");
+    }
+
+    #[test]
+    fn edge_connects_to_all_pod_aggs_and_agg_to_its_cores() {
+        let ft = FatTree::new(4);
+        let net = ft.network();
+        for i in 0..2 {
+            assert!(net.find_channel(ft.edge(1, 0), ft.agg(1, i)).is_some());
+            assert!(net.find_channel(ft.agg(1, i), ft.edge(1, 0)).is_some());
+        }
+        // agg(p, i) reaches cores i*half + j only.
+        assert!(net.find_channel(ft.agg(2, 0), ft.core(0)).is_some());
+        assert!(net.find_channel(ft.agg(2, 0), ft.core(1)).is_some());
+        assert!(net.find_channel(ft.agg(2, 0), ft.core(2)).is_none());
+        assert!(net.find_channel(ft.agg(2, 1), ft.core(2)).is_some());
+        // No edge-core shortcuts.
+        assert!(net.find_channel(ft.edge(0, 0), ft.core(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_arity_panics() {
+        FatTree::new(3);
+    }
+}

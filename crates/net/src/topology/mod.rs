@@ -4,9 +4,12 @@
 //! The paper's own networks (Figures 1–3 and the Section 6 family) are
 //! *custom* graphs and live in `worm-core::paper`; this module covers
 //! the conventional substrates: rings, k-ary n-dimensional meshes,
-//! tori with virtual channels, hypercubes, and a few degenerate shapes
-//! used in tests.
+//! tori with virtual channels, hypercubes, the cluster-scale fabrics
+//! (dragonfly groups, k-ary fat-trees, and — via [`complete`] — dense
+//! full meshes), and a few degenerate shapes used in tests.
 
+mod dragonfly;
+mod fattree;
 mod hypercube;
 mod mesh;
 mod misc;
@@ -14,6 +17,8 @@ mod ring;
 mod torus;
 mod tree;
 
+pub use dragonfly::Dragonfly;
+pub use fattree::{FatTree, FatTreeTier};
 pub use hypercube::Hypercube;
 pub use mesh::Mesh;
 pub use misc::{complete, line, star};

@@ -14,11 +14,18 @@ use crate::table::TableRouting;
 
 /// Whether every routed path is a shortest path in the node graph
 /// ("minimal routing", paper Section 1).
+///
+/// The table iterates in `(src, dst)` order, so one BFS per distinct
+/// source serves all its destinations — the difference between
+/// quadratic and cubic work on the cluster-scale fabrics.
 pub fn is_minimal(net: &Network, table: &TableRouting) -> bool {
+    let mut cached: Option<(wormnet::NodeId, Vec<Option<usize>>)> = None;
     table.iter().all(|(&(src, dst), path)| {
-        net.hop_distance(src, dst)
-            .map(|d| d == path.len())
-            .unwrap_or(false)
+        if cached.as_ref().map(|(s, _)| *s) != Some(src) {
+            cached = Some((src, net.distances_from(src)));
+        }
+        let (_, dist) = cached.as_ref().expect("cache was just refreshed");
+        dist[dst.index()] == Some(path.len())
     })
 }
 
@@ -97,6 +104,27 @@ pub fn never_revisits_nodes(net: &Network, table: &TableRouting) -> bool {
 /// means a reachable deadlock. Every node-function algorithm is
 /// suffix-closed (when total); the converse need not hold.
 pub fn is_node_function(net: &Network, table: &TableRouting) -> bool {
+    // Dense (current node, destination) matrix when n^2 cells are
+    // affordable (the cluster-scale fabrics), else a map.
+    let n = net.node_count();
+    const DENSE_CELL_LIMIT: usize = 1 << 24;
+    if let Some(cells) = n.checked_mul(n).filter(|&c| c <= DENSE_CELL_LIMIT) {
+        const EMPTY: u32 = u32::MAX;
+        let mut choice = vec![EMPTY; cells];
+        for (&(_, dst), path) in table.iter() {
+            let nodes = path.nodes(net);
+            for (i, &c) in path.channels().iter().enumerate() {
+                let slot = &mut choice[nodes[i].index() * n + dst.index()];
+                let cid = c.index() as u32;
+                if *slot == EMPTY {
+                    *slot = cid;
+                } else if *slot != cid {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
     use std::collections::BTreeMap;
     let mut choice: BTreeMap<(wormnet::NodeId, wormnet::NodeId), wormnet::ChannelId> =
         BTreeMap::new();
