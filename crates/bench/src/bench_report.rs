@@ -27,6 +27,7 @@ use crate::scenarios::{
 };
 use worm_core::classify::{classify_algorithm, AlgorithmVerdict, ClassifyOptions};
 use wormcdg::{Cdg, CdgBuilder};
+use wormnet::graph::SccEngineKind;
 use wormsearch::{explore, SearchResult, Verdict};
 use wormsim::runner::{EngineKind, Runner};
 
@@ -265,10 +266,19 @@ fn algorithm_verdict_label(v: &AlgorithmVerdict) -> &'static str {
 }
 
 /// Measure one cluster-scale topology scenario: batch CDG build,
-/// incremental (Pearce–Kelly) construction, bounded cycle streaming,
-/// whole-algorithm classification, and the wormlint static verdict.
-/// Structural keys (`channels`, `cdg_edges`, `cycles_found`, both
-/// verdicts) are exactly reproducible; `*_ms` keys are timings.
+/// incremental construction under *both* SCC engines, bounded cycle
+/// streaming, whole-algorithm classification, and the wormlint static
+/// verdict. Structural keys (`channels`, `cdg_edges`, `cycles_found`,
+/// the per-engine `scc_*` work counters, both verdicts) are exactly
+/// reproducible; `*_ms` keys are timings.
+///
+/// Per-engine keys use the engine's stable short name (`pk`,
+/// `hkmst`): `incscc_<engine>_ms` is the streaming-construction time,
+/// and `scc_<engine>_{violations,edge_visits,merges,compactions}`
+/// re-export the engine's `graph.scc.*` wormtrace counters, captured
+/// by installing a scoped [`wormtrace::MemoryRecorder`] around the
+/// run. The legacy `incscc_ms` key stays as the default engine's
+/// (HKMST) timing so older tooling keeps working.
 fn run_topo_scenario(report: &mut BenchReport, s: &TopologyScenario) {
     let name = s.name.as_str();
     report.insert(
@@ -287,16 +297,51 @@ fn run_topo_scenario(report: &mut BenchReport, s: &TopologyScenario) {
     );
     report.insert(name, "cdg_edges", BenchValue::Int(cdg.edge_count() as u64));
 
-    let start = Instant::now();
-    let mut builder = CdgBuilder::new(&s.net);
-    builder.add_table(&s.table);
-    let incscc_ms = start.elapsed().as_secs_f64() * 1e3;
-    report.insert(name, "incscc_ms", BenchValue::Float(incscc_ms.round()));
-    assert_eq!(
-        builder.is_acyclic(),
-        cdg.is_acyclic(),
-        "{name}: incremental and batch acyclicity disagree"
-    );
+    for kind in SccEngineKind::ALL {
+        let rec = std::sync::Arc::new(wormtrace::MemoryRecorder::new());
+        wormtrace::install(rec.clone());
+        let start = Instant::now();
+        let mut builder = CdgBuilder::with_engine(&s.net, kind);
+        builder.add_table(&s.table);
+        let incscc_ms = start.elapsed().as_secs_f64() * 1e3;
+        wormtrace::uninstall();
+        let counters = rec.snapshot().counters;
+        let scc_counter = |key: &str| BenchValue::Int(counters.get(key).copied().unwrap_or(0));
+        let engine = kind.name();
+        report.insert(
+            name,
+            &format!("incscc_{engine}_ms"),
+            BenchValue::Float(incscc_ms.round()),
+        );
+        if kind == SccEngineKind::default() {
+            report.insert(name, "incscc_ms", BenchValue::Float(incscc_ms.round()));
+        }
+        report.insert(
+            name,
+            &format!("scc_{engine}_violations"),
+            scc_counter("graph.scc.order_violations"),
+        );
+        report.insert(
+            name,
+            &format!("scc_{engine}_edge_visits"),
+            scc_counter("graph.scc.edge_visits"),
+        );
+        report.insert(
+            name,
+            &format!("scc_{engine}_merges"),
+            scc_counter("graph.scc.merges"),
+        );
+        report.insert(
+            name,
+            &format!("scc_{engine}_compactions"),
+            scc_counter("graph.scc.compactions"),
+        );
+        assert_eq!(
+            builder.is_acyclic(),
+            cdg.is_acyclic(),
+            "{name}: incremental ({engine}) and batch acyclicity disagree"
+        );
+    }
 
     let (cycles, _complete) = cdg.cycles_streamed(TOPO_MAX_CYCLES);
     report.insert(name, "cycles_found", BenchValue::Int(cycles.len() as u64));

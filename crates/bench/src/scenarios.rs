@@ -179,14 +179,14 @@ pub fn large_topology_scenarios(smoke: bool) -> Vec<TopologyScenario> {
 
     // The cautionary tale: a dragonfly with every lane collapsed to 0.
     // The engine is still a node function, so by Corollary 1 its cyclic
-    // CDG is a *real* deadlock, and the pipeline must say so. The full
-    // instance is sized to what Pearce–Kelly order maintenance absorbs
-    // online in a couple of seconds: its bounded double search degrades
-    // toward quadratic on deeply cyclic dependency graphs (the 14,400
-    // channels here already trigger ~12k order violations; a balanced
-    // two-way search is the known remedy — see ROADMAP).
-    let (ng, nr) = if smoke { (groups, routers) } else { (25, 24) };
-    let df = Dragonfly::with_lanes(ng, nr, &[0], &[0]);
+    // CDG is a *real* deadlock, and the pipeline must say so. This now
+    // runs at the same (41, 40) scale as the minimal-routing instance:
+    // the HKMST balanced two-way SCC engine absorbs the deeply cyclic
+    // CDG online (Pearce–Kelly's complete double searches degrade
+    // toward quadratic here and forced a (25, 24) downscale until
+    // ROADMAP item 1 landed — see docs/PERFORMANCE.md for the measured
+    // counter gap between the two engines on this workload).
+    let df = Dragonfly::with_lanes(groups, routers, &[0], &[0]);
     let table = dragonfly_minimal(&df).expect("dragonfly routes");
     out.push(TopologyScenario {
         name: "topo_dragonfly_novc".into(),

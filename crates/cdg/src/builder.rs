@@ -4,17 +4,18 @@
 //! the graph is acyclic. At cluster scale that wastes the dominant
 //! fact: most fabrics are *certified free*, and the certificate can be
 //! maintained while the routing table streams past. [`CdgBuilder`]
-//! feeds each new distinct dependency edge into
-//! [`wormnet::graph::IncrementalScc`] (Pearce–Kelly online topological
-//! ordering extended with component merging), so after every
-//! `add_path` call the builder knows whether the dependencies so far
-//! are acyclic — and a deliberately deadlock-prone engine is caught on
-//! the exact path that closes the first cycle, without finishing the
-//! table, let alone enumerating cycles.
+//! feeds each new distinct dependency edge into an online SCC tracker
+//! ([`wormnet::graph::SccEngine`]: HKMST balanced two-way search by
+//! default, Pearce–Kelly selectable as the oracle engine via
+//! [`CdgBuilder::with_engine`]), so after every `add_path` call the
+//! builder knows whether the dependencies so far are acyclic — and a
+//! deliberately deadlock-prone engine is caught on the exact path that
+//! closes the first cycle, without finishing the table, let alone
+//! enumerating cycles.
 
 use std::collections::BTreeMap;
 
-use wormnet::graph::IncrementalScc;
+use wormnet::graph::{SccEngine, SccEngineKind};
 use wormnet::{ChannelId, Network};
 use wormroute::{Path, TableRouting};
 
@@ -29,17 +30,30 @@ use crate::graph::{Cdg, MsgPair};
 pub struct CdgBuilder {
     channel_count: usize,
     edges: BTreeMap<(ChannelId, ChannelId), Vec<MsgPair>>,
-    scc: IncrementalScc,
+    scc: SccEngine,
 }
 
 impl CdgBuilder {
-    /// A builder for the channels of `net`, with no dependencies yet.
+    /// A builder for the channels of `net`, with no dependencies yet,
+    /// on the default SCC engine (HKMST).
     pub fn new(net: &Network) -> Self {
+        Self::with_engine(net, SccEngineKind::default())
+    }
+
+    /// A builder running the given incremental-SCC engine. Both
+    /// engines produce identical verdicts (differentially tested);
+    /// they differ in worst-case cost on dense cyclic CDGs.
+    pub fn with_engine(net: &Network, engine: SccEngineKind) -> Self {
         CdgBuilder {
             channel_count: net.channel_count(),
             edges: BTreeMap::new(),
-            scc: IncrementalScc::new(net.channel_count()),
+            scc: SccEngine::new(engine, net.channel_count()),
         }
+    }
+
+    /// Which incremental-SCC engine this builder runs.
+    pub fn engine(&self) -> SccEngineKind {
+        self.scc.kind()
     }
 
     /// Record the dependencies induced by one routed path, attributing
@@ -109,20 +123,23 @@ mod tests {
     };
 
     /// The builder must agree with the batch path on edges, witnesses
-    /// and acyclicity.
+    /// and acyclicity — under both SCC engines.
     fn assert_matches_batch(net: &Network, table: &TableRouting) {
         let batch = Cdg::build(net, table);
-        let mut builder = CdgBuilder::new(net);
-        let closed = builder.add_table(table);
-        assert_eq!(builder.is_acyclic(), batch.is_acyclic());
-        assert_eq!(closed, !batch.is_acyclic());
-        assert_eq!(builder.edge_count(), batch.edge_count());
-        let finished = builder.finish();
-        assert_eq!(finished.edge_count(), batch.edge_count());
-        for (key, wit) in batch.edges() {
-            assert_eq!(finished.witnesses(key.0, key.1), wit.as_slice());
+        for kind in wormnet::graph::SccEngineKind::ALL {
+            let mut builder = CdgBuilder::with_engine(net, kind);
+            assert_eq!(builder.engine(), kind);
+            let closed = builder.add_table(table);
+            assert_eq!(builder.is_acyclic(), batch.is_acyclic(), "{}", kind.name());
+            assert_eq!(closed, !batch.is_acyclic(), "{}", kind.name());
+            assert_eq!(builder.edge_count(), batch.edge_count());
+            let finished = builder.finish();
+            assert_eq!(finished.edge_count(), batch.edge_count());
+            for (key, wit) in batch.edges() {
+                assert_eq!(finished.witnesses(key.0, key.1), wit.as_slice());
+            }
+            assert_eq!(finished.is_acyclic(), batch.is_acyclic());
         }
-        assert_eq!(finished.is_acyclic(), batch.is_acyclic());
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use worm_core::conditions::{eight_conditions, EightConditions};
 use wormcdg::sharing::{self, SharingAnalysis};
-use wormcdg::{enumerate_candidates, Cdg, CdgCycle, DeadlockCandidate};
+use wormcdg::{enumerate_candidates, Cdg, CdgBuilder, CdgCycle, DeadlockCandidate};
+use wormnet::graph::SccEngineKind;
 use wormnet::Network;
 use wormroute::properties::{self, PropertyReport};
 use wormroute::TableRouting;
@@ -85,6 +86,14 @@ pub struct LintContext<'a> {
     pub properties: PropertyReport,
     /// The channel dependency graph.
     pub cdg: Cdg,
+    /// Whether the incremental-SCC engine certified the CDG acyclic
+    /// while it streamed the table — the fact the `W208`/`W209`
+    /// certificates and the overall verdict rest on. Always equals
+    /// [`Cdg::is_acyclic`] (both engines are differentially pinned to
+    /// the batch Tarjan answer).
+    pub scc_acyclic: bool,
+    /// Which incremental-SCC engine built the context.
+    pub scc_engine: SccEngineKind,
     /// Elementary CDG cycles with candidate analyses (the first
     /// `max_cycles` in streamed order when the budget ran out).
     pub cycles: Vec<CycleAnalysis>,
@@ -95,17 +104,42 @@ pub struct LintContext<'a> {
 }
 
 impl<'a> LintContext<'a> {
-    /// Build the context, enumerating at most `max_cycles` elementary
-    /// cycles and `max_candidates` candidates per cycle.
+    /// Build the context on the default SCC engine, enumerating at
+    /// most `max_cycles` elementary cycles and `max_candidates`
+    /// candidates per cycle.
     pub fn build(
         net: &'a Network,
         table: &'a TableRouting,
         max_cycles: usize,
         max_candidates: usize,
     ) -> Self {
+        Self::build_with_engine(
+            net,
+            table,
+            max_cycles,
+            max_candidates,
+            SccEngineKind::default(),
+        )
+    }
+
+    /// Build the context, streaming the CDG through the selected
+    /// incremental-SCC engine. The engine's online verdict gates cycle
+    /// enumeration (and lands in [`LintContext::scc_acyclic`]); the
+    /// finished [`Cdg`] is identical either way.
+    pub fn build_with_engine(
+        net: &'a Network,
+        table: &'a TableRouting,
+        max_cycles: usize,
+        max_candidates: usize,
+        engine: SccEngineKind,
+    ) -> Self {
         let props = properties::analyze(net, table);
-        let cdg = Cdg::build(net, table);
-        let (cycles, cycles_complete) = if cdg.is_acyclic() {
+        let mut builder = CdgBuilder::with_engine(net, engine);
+        builder.add_table(table);
+        let scc_acyclic = builder.is_acyclic();
+        let cdg = builder.finish();
+        debug_assert_eq!(scc_acyclic, cdg.is_acyclic());
+        let (cycles, cycles_complete) = if scc_acyclic {
             (Vec::new(), true)
         } else {
             let (raw, complete) = cdg.cycles_streamed(max_cycles);
@@ -120,6 +154,8 @@ impl<'a> LintContext<'a> {
             table,
             properties: props,
             cdg,
+            scc_acyclic,
+            scc_engine: engine,
             cycles,
             cycles_complete,
         }

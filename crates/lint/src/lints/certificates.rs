@@ -45,7 +45,9 @@ impl Lint for VcMonotoneCertificate {
         Severity::Allow
     }
     fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
-        if !ctx.cdg.is_acyclic() {
+        // Acyclicity as certified online by the selected SCC engine
+        // (HKMST or Pearce–Kelly — identical by differential test).
+        if !ctx.scc_acyclic {
             return Vec::new();
         }
         let mut multi_hop = 0usize;
@@ -102,7 +104,7 @@ impl Lint for DownUpCertificate {
         Severity::Allow
     }
     fn check(&self, ctx: &LintContext<'_>, severity: Severity) -> Vec<Diagnostic> {
-        if !ctx.cdg.is_acyclic() {
+        if !ctx.scc_acyclic {
             return Vec::new();
         }
         let mut multi_hop = 0usize;

@@ -1,0 +1,183 @@
+//! Selectable incremental-SCC engine seam.
+//!
+//! Two online SCC trackers coexist: [`IncrementalScc`] (Pearce–Kelly,
+//! simple, O(n·m) worst case) and [`HkmstScc`] (balanced two-way
+//! search, O(m^{3/2}) total). They maintain identical observable state
+//! — acyclicity, component partition, merge verdicts — and are pinned
+//! to each other and to Tarjan by differential tests, so every
+//! consumer (`wormcdg::CdgBuilder`, `worm_core` classification,
+//! `wormlint` certificates) takes an [`SccEngineKind`] and runs either
+//! one. Pearce–Kelly stays available as the second oracle; HKMST is
+//! the default because it is the one that finishes cluster-scale
+//! cyclic CDGs (see `docs/PERFORMANCE.md`).
+
+use super::{HkmstScc, IncrementalScc};
+
+/// Which incremental-SCC engine to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SccEngineKind {
+    /// Pearce–Kelly online topological ordering with component
+    /// merging: two complete closures of the affected region per
+    /// order violation.
+    PearceKelly,
+    /// HKMST balanced two-way search: interleaved forward/backward
+    /// frontiers, first exhausted side decides — the cluster-scale
+    /// default.
+    #[default]
+    Hkmst,
+}
+
+impl SccEngineKind {
+    /// Stable lowercase name, used in benchmark keys and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            SccEngineKind::PearceKelly => "pk",
+            SccEngineKind::Hkmst => "hkmst",
+        }
+    }
+
+    /// Parse a CLI-style engine name (`"pk"` / `"pearce-kelly"` /
+    /// `"hkmst"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pk" | "pearce-kelly" => Some(SccEngineKind::PearceKelly),
+            "hkmst" => Some(SccEngineKind::Hkmst),
+            _ => None,
+        }
+    }
+
+    /// Both engine kinds, in oracle-first order.
+    pub const ALL: [SccEngineKind; 2] = [SccEngineKind::PearceKelly, SccEngineKind::Hkmst];
+}
+
+/// An incremental SCC tracker running whichever engine was selected.
+/// The API is the intersection of the two engines' (identical) public
+/// surfaces.
+#[derive(Clone, Debug)]
+pub enum SccEngine {
+    /// Pearce–Kelly tracker.
+    PearceKelly(IncrementalScc),
+    /// HKMST tracker.
+    Hkmst(HkmstScc),
+}
+
+impl SccEngine {
+    /// A tracker for `n` isolated vertices on the given engine.
+    pub fn new(kind: SccEngineKind, n: usize) -> Self {
+        match kind {
+            SccEngineKind::PearceKelly => SccEngine::PearceKelly(IncrementalScc::new(n)),
+            SccEngineKind::Hkmst => SccEngine::Hkmst(HkmstScc::new(n)),
+        }
+    }
+
+    /// Which engine this tracker runs.
+    pub fn kind(&self) -> SccEngineKind {
+        match self {
+            SccEngine::PearceKelly(_) => SccEngineKind::PearceKelly,
+            SccEngine::Hkmst(_) => SccEngineKind::Hkmst,
+        }
+    }
+
+    /// Insert the edge `u → v`; `true` when it created or extended a
+    /// cycle.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        match self {
+            SccEngine::PearceKelly(s) => s.add_edge(u, v),
+            SccEngine::Hkmst(s) => s.add_edge(u, v),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        match self {
+            SccEngine::PearceKelly(s) => s.vertex_count(),
+            SccEngine::Hkmst(s) => s.vertex_count(),
+        }
+    }
+
+    /// Number of strongly connected components.
+    pub fn component_count(&self) -> usize {
+        match self {
+            SccEngine::PearceKelly(s) => s.component_count(),
+            SccEngine::Hkmst(s) => s.component_count(),
+        }
+    }
+
+    /// Whether the graph built so far is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        match self {
+            SccEngine::PearceKelly(s) => s.is_acyclic(),
+            SccEngine::Hkmst(s) => s.is_acyclic(),
+        }
+    }
+
+    /// The component representative of `v`.
+    pub fn find(&self, v: usize) -> usize {
+        match self {
+            SccEngine::PearceKelly(s) => s.find(v),
+            SccEngine::Hkmst(s) => s.find(v),
+        }
+    }
+
+    /// Whether `u` and `v` are currently in the same component.
+    pub fn same_component(&self, u: usize, v: usize) -> bool {
+        match self {
+            SccEngine::PearceKelly(s) => s.same_component(u, v),
+            SccEngine::Hkmst(s) => s.same_component(u, v),
+        }
+    }
+
+    /// The current partition into components, in the shared canonical
+    /// form (each sorted, ordered by smallest member).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        match self {
+            SccEngine::PearceKelly(s) => s.components(),
+            SccEngine::Hkmst(s) => s.components(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in SccEngineKind::ALL {
+            assert_eq!(SccEngineKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            SccEngineKind::parse("pearce-kelly"),
+            Some(SccEngineKind::PearceKelly)
+        );
+        assert_eq!(SccEngineKind::parse("tarjan"), None);
+    }
+
+    #[test]
+    fn default_engine_is_hkmst() {
+        assert_eq!(SccEngineKind::default(), SccEngineKind::Hkmst);
+        assert_eq!(
+            SccEngine::new(SccEngineKind::default(), 3).kind(),
+            SccEngineKind::Hkmst
+        );
+    }
+
+    #[test]
+    fn both_engines_agree_through_the_wrapper() {
+        let edges = [(0, 1), (1, 2), (3, 1), (2, 3), (2, 0), (4, 4)];
+        let mut engines: Vec<SccEngine> = SccEngineKind::ALL
+            .iter()
+            .map(|&k| SccEngine::new(k, 5))
+            .collect();
+        for &(u, v) in &edges {
+            let verdicts: Vec<bool> = engines.iter_mut().map(|e| e.add_edge(u, v)).collect();
+            assert_eq!(verdicts[0], verdicts[1], "edge {u}->{v}");
+            assert_eq!(engines[0].is_acyclic(), engines[1].is_acyclic());
+            assert_eq!(engines[0].components(), engines[1].components());
+        }
+        assert_eq!(engines[0].component_count(), engines[1].component_count());
+        assert_eq!(engines[0].vertex_count(), 5);
+        assert!(engines[1].same_component(0, 3));
+        assert_eq!(engines[1].find(0), engines[1].find(2));
+    }
+}

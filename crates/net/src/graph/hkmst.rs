@@ -1,0 +1,740 @@
+//! Balanced two-way incremental strongly connected components in the
+//! style of Haeupler–Kavitha–Mathew–Sen–Tarjan (HKMST).
+//!
+//! [`super::IncrementalScc`] (Pearce–Kelly) answers each
+//! order-violating insertion with *two complete* closures of the
+//! affected region, which degenerates to O(n·m) on the dense cyclic
+//! CDGs that no-VC fabrics produce — ROADMAP item 1 measured ~10^9
+//! closure edge visits on a (25,24) dragonfly. [`HkmstScc`] instead
+//! runs the forward search from `v` and the backward search from `u`
+//! *interleaved*, each step expanding whichever side has accumulated
+//! less edge work (a soft threshold that tracks the other side's
+//! spend), and stops as soon as **one** side exhausts its windowed
+//! frontier. The finished side is a complete closure, which is enough
+//! to decide the insertion:
+//!
+//! * forward side finishes with closure `F`: a cycle exists iff
+//!   `u ∈ F` (every `v ⇒ u` path stays inside the position window,
+//!   because positions strictly increase along edges of a valid
+//!   order). No cycle → move `F`, order preserved, to just after `u`.
+//!   Cycle → the merge set is `M = {x ∈ F : x ⇒ u}`, found by a
+//!   backward sweep from `u` restricted to `F`; contract `M` into
+//!   `u`'s list slot and move `F \ M` to just after it.
+//! * backward side finishes with closure `B`: symmetric — cycle iff
+//!   `v ∈ B`, merge set `{x ∈ B : v ⇒ x}` contracts into `v`'s slot,
+//!   `B \ M` moves to just before it.
+//!
+//! The two-way cost is ~2·min(|F|, |B|) edges instead of |F| + |B|,
+//! which is where the O(m^{3/2}) total bound comes from. Relocating an
+//! arbitrary set *between* two neighbours is what Pearce–Kelly's dense
+//! integer positions cannot do, so positions here are maintained as
+//! sparse `u64` tags on a doubly-linked list of live component roots:
+//! inserting k roots into a gap is O(k) plus an amortized local
+//! relabel when a neighbourhood runs out of tag space.
+//!
+//! Both engines publish `graph.scc.*` wormtrace counters (order
+//! violations, edge visits, merges, compactions — plus `relabels`,
+//! which only this engine has) so the asymptotic difference is
+//! measured, not asserted; `docs/PERFORMANCE.md` tabulates them.
+//! Differential tests pin this engine to [`tarjan_scc`] and to
+//! Pearce–Kelly after every insertion (`tests/props_incscc.rs`).
+//!
+//! [`tarjan_scc`]: super::tarjan_scc
+
+use std::collections::HashSet;
+
+/// Tag of the head sentinel (before every live root).
+const HEAD_TAG: u64 = 0;
+/// Tag of the tail sentinel (after every live root).
+const TAIL_TAG: u64 = u64::MAX;
+/// Minimum per-slot spacing a relabel restores. Gaps narrower than
+/// `(k + 1) · MIN_GAP` trigger a local respace before k insertions.
+const MIN_GAP: u64 = 64;
+
+/// Online strongly-connected-component tracker over a fixed vertex
+/// set, fed one directed edge at a time — HKMST balanced two-way
+/// search flavour. Public API mirrors [`super::IncrementalScc`] so the
+/// two are interchangeable behind [`super::SccEngine`].
+#[derive(Clone, Debug)]
+pub struct HkmstScc {
+    /// Union-find parent per vertex; roots are component
+    /// representatives.
+    parent: Vec<usize>,
+    /// Sparse order tag per *root*: the maintained topological order
+    /// of the condensation compares tags. Slots `n` and `n + 1` are
+    /// the head/tail sentinels.
+    tag: Vec<u64>,
+    /// Next live root (or tail sentinel) in tag order.
+    next: Vec<usize>,
+    /// Previous live root (or head sentinel) in tag order.
+    prev: Vec<usize>,
+    /// Outgoing edge targets per root (raw vertex ids; resolved
+    /// through `find` at traversal time).
+    out: Vec<Vec<usize>>,
+    /// Incoming edge sources per root (raw vertex ids).
+    inc: Vec<Vec<usize>>,
+    /// Number of live components.
+    components: usize,
+    /// Number of vertices with a self-loop edge.
+    self_loops: usize,
+    /// Per-root edge-list length at its last compaction (same
+    /// amortization as Pearce–Kelly's `union_all`).
+    compact_floor: Vec<usize>,
+}
+
+impl HkmstScc {
+    /// A tracker for `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        // Spread initial tags evenly so early insertions relabel
+        // nothing; the slack below TAIL_TAG keeps `make_room_after`
+        // able to respace any suffix.
+        Self::with_initial_gap(n, TAIL_TAG / (n as u64 + 2))
+    }
+
+    /// A tracker whose initial tags are `gap` apart. Exists so tests
+    /// can start from an artificially cramped tag space and exercise
+    /// the relabel path deterministically; use [`HkmstScc::new`]
+    /// everywhere else.
+    #[doc(hidden)]
+    pub fn with_initial_gap(n: usize, gap: u64) -> Self {
+        let head = n;
+        let tail = n + 1;
+        // Clamp so even the largest initial tag stays strictly below
+        // the tail sentinel: real tags must never collide with it.
+        let gap = gap.clamp(1, TAIL_TAG / (n as u64 + 2));
+        let mut tag = vec![0u64; n + 2];
+        let mut next = vec![0usize; n + 2];
+        let mut prev = vec![0usize; n + 2];
+        tag[head] = HEAD_TAG;
+        tag[tail] = TAIL_TAG;
+        for v in 0..n {
+            tag[v] = (v as u64 + 1) * gap;
+            next[v] = if v + 1 == n { tail } else { v + 1 };
+            prev[v] = if v == 0 { head } else { v - 1 };
+        }
+        next[head] = if n == 0 { tail } else { 0 };
+        prev[head] = head;
+        next[tail] = tail;
+        prev[tail] = if n == 0 { head } else { n - 1 };
+        HkmstScc {
+            parent: (0..n).collect(),
+            tag,
+            next,
+            prev,
+            out: vec![Vec::new(); n],
+            inc: vec![Vec::new(); n],
+            components: n,
+            self_loops: 0,
+            compact_floor: vec![0; n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Number of strongly connected components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Whether the graph built so far is acyclic (no component merger
+    /// and no self-loop has occurred).
+    pub fn is_acyclic(&self) -> bool {
+        self.components == self.vertex_count() && self.self_loops == 0
+    }
+
+    /// The component representative of `v` (no path compression; safe
+    /// on a shared reference).
+    pub fn find(&self, mut v: usize) -> usize {
+        while self.parent[v] != v {
+            v = self.parent[v];
+        }
+        v
+    }
+
+    /// Whether `u` and `v` are currently in the same component.
+    pub fn same_component(&self, u: usize, v: usize) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// The current partition into components, each sorted, ordered by
+    /// smallest member — the canonical form shared with
+    /// [`super::IncrementalScc::components`] and the Tarjan
+    /// differential tests.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.vertex_count();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for v in 0..n {
+            groups[self.find(v)].push(v);
+        }
+        let mut out: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+
+    /// Insert the edge `u → v`. Returns `true` when the insertion
+    /// created or extended a cycle (components merged, or `u == v`).
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.vertex_count() && v < self.vertex_count());
+        if u == v {
+            self.self_loops += 1;
+            return true;
+        }
+        let (ru, rv) = (self.find_compress(u), self.find_compress(v));
+        if ru == rv {
+            return true;
+        }
+        if self.tag[ru] < self.tag[rv] {
+            // Order already consistent: record and done.
+            self.out[ru].push(v);
+            self.inc[rv].push(u);
+            return false;
+        }
+        let cycle = self.resolve_violation(u, v, ru, rv);
+        wormtrace::counter("graph.scc.order_violations", 1);
+        cycle
+    }
+
+    /// Handle an order-violating insertion `u → v` with
+    /// `tag[ru] > tag[rv]`: balanced two-way search, then reorder or
+    /// merge. Returns whether a cycle was closed.
+    fn resolve_violation(&mut self, u: usize, v: usize, ru: usize, rv: usize) -> bool {
+        let lo = self.tag[rv];
+        let hi = self.tag[ru];
+        let mut visits = 0u64;
+
+        // Interleaved frontier search: forward from rv, backward from
+        // ru, both restricted to roots tagged within [lo, hi]. Each
+        // round expands one node on whichever side has spent fewer
+        // edge visits so far, until one side's frontier is exhausted —
+        // that side then holds a *complete* windowed closure.
+        let mut f_seen: HashSet<usize> = HashSet::from([rv]);
+        let mut f_list = vec![rv];
+        let mut f_stack = vec![rv];
+        let mut b_seen: HashSet<usize> = HashSet::from([ru]);
+        let mut b_list = vec![ru];
+        let mut b_stack = vec![ru];
+        let (mut f_cost, mut b_cost) = (0u64, 0u64);
+        let forward_done = loop {
+            if f_stack.is_empty() {
+                break true;
+            }
+            if b_stack.is_empty() {
+                break false;
+            }
+            if f_cost <= b_cost {
+                let r = f_stack.pop().expect("non-empty");
+                f_cost += self.expand(r, true, lo, hi, &mut f_seen, &mut f_list, &mut f_stack);
+            } else {
+                let r = b_stack.pop().expect("non-empty");
+                b_cost += self.expand(r, false, lo, hi, &mut b_seen, &mut b_list, &mut b_stack);
+            }
+        };
+        visits += f_cost + b_cost;
+
+        // Record the new edge before any merge so `union_all` carries
+        // it onto the surviving root like every other edge.
+        self.out[ru].push(v);
+        self.inc[rv].push(u);
+
+        let cycle;
+        if forward_done {
+            // F is the full forward closure of rv inside the window;
+            // every v ⇒ u path lies inside it, so cycle ⟺ ru ∈ F.
+            cycle = f_seen.contains(&ru);
+            if cycle {
+                // Merge set: F-members that reach u (backward sweep
+                // from ru restricted to F). Contract into ru's slot at
+                // tag hi; no F \ M member has an edge into M (it would
+                // reach u and be in M), so moving F \ M above hi is
+                // safe.
+                let merged = self.restricted_closure(ru, false, &f_seen, &mut visits);
+                let rest = self.surviving_rest(&f_list, &merged);
+                self.contract(ru, &merged);
+                self.relocate_after(ru, rest);
+            } else {
+                // Complete closure F moves, order preserved, to just
+                // after ru: its out-edges either stay internal or
+                // leave the window upward, its in-edges from outside
+                // only gain slack.
+                let all: Vec<usize> = std::mem::take(&mut f_list);
+                self.relocate_after(ru, self.tag_sorted(all));
+            }
+        } else {
+            // B is the full backward closure of ru inside the window.
+            cycle = b_seen.contains(&rv);
+            if cycle {
+                // Merge set: B-members reachable from v (forward sweep
+                // from rv restricted to B). Contract into rv's slot at
+                // tag lo; B \ M may point into M, which stays valid
+                // because B \ M lands strictly below lo.
+                let merged = self.restricted_closure(rv, true, &b_seen, &mut visits);
+                let rest = self.surviving_rest(&b_list, &merged);
+                self.contract(rv, &merged);
+                let anchor = self.prev[rv];
+                self.relocate_after(anchor, rest);
+            } else {
+                let all: Vec<usize> = std::mem::take(&mut b_list);
+                let sorted = self.tag_sorted(all);
+                // Unlink first so the anchor is rv's surviving
+                // predecessor, then reinsert just before rv.
+                for &r in &sorted {
+                    self.unlink(r);
+                }
+                let anchor = self.prev[rv];
+                self.insert_chain_after(anchor, &sorted);
+            }
+        }
+        wormtrace::counter("graph.scc.edge_visits", visits);
+        cycle
+    }
+
+    /// Expand one root of one search side: scan its adjacency in the
+    /// given direction, enqueue unseen window-internal neighbours, and
+    /// return the number of edges visited. Traversed entries are
+    /// rewritten to their current representative (path compression on
+    /// the edge lists, exactly as in Pearce–Kelly).
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &mut self,
+        r: usize,
+        forward: bool,
+        lo: u64,
+        hi: u64,
+        seen: &mut HashSet<usize>,
+        list: &mut Vec<usize>,
+        stack: &mut Vec<usize>,
+    ) -> u64 {
+        let mut edges = std::mem::take(if forward {
+            &mut self.out[r]
+        } else {
+            &mut self.inc[r]
+        });
+        for t in edges.iter_mut() {
+            let rt = self.find_compress(*t);
+            *t = rt;
+            if self.tag[rt] < lo || self.tag[rt] > hi || !seen.insert(rt) {
+                continue;
+            }
+            list.push(rt);
+            stack.push(rt);
+        }
+        let visited = edges.len() as u64;
+        if forward {
+            self.out[r] = edges;
+        } else {
+            self.inc[r] = edges;
+        }
+        visited
+    }
+
+    /// Complete closure of `start` (forward or backward) restricted to
+    /// roots in `within`, in no particular order. Used to extract the
+    /// merge set out of the finished side's closure.
+    fn restricted_closure(
+        &mut self,
+        start: usize,
+        forward: bool,
+        within: &HashSet<usize>,
+        visits: &mut u64,
+    ) -> Vec<usize> {
+        let mut member = HashSet::from([start]);
+        let mut seen = vec![start];
+        let mut stack = vec![start];
+        while let Some(r) = stack.pop() {
+            let mut edges = std::mem::take(if forward {
+                &mut self.out[r]
+            } else {
+                &mut self.inc[r]
+            });
+            for t in edges.iter_mut() {
+                let rt = self.find_compress(*t);
+                *t = rt;
+                if within.contains(&rt) && member.insert(rt) {
+                    seen.push(rt);
+                    stack.push(rt);
+                }
+            }
+            *visits += edges.len() as u64;
+            if forward {
+                self.out[r] = edges;
+            } else {
+                self.inc[r] = edges;
+            }
+        }
+        seen
+    }
+
+    /// The closure members outside the merge set, sorted by current
+    /// tag (relative order must survive relocation).
+    fn surviving_rest(&self, list: &[usize], merged: &[usize]) -> Vec<usize> {
+        let m: HashSet<usize> = merged.iter().copied().collect();
+        let rest: Vec<usize> = list.iter().copied().filter(|r| !m.contains(r)).collect();
+        self.tag_sorted(rest)
+    }
+
+    /// Sort roots by their current tag.
+    fn tag_sorted(&self, mut roots: Vec<usize>) -> Vec<usize> {
+        roots.sort_by_key(|&r| self.tag[r]);
+        roots
+    }
+
+    /// Union every root of `merged` into `survivor` (which must be in
+    /// the list), unlinking the absorbed roots from the order list.
+    /// The survivor keeps its slot and tag.
+    fn contract(&mut self, survivor: usize, merged: &[usize]) {
+        let mut absorbed = 0u64;
+        for &r in merged {
+            if r != survivor {
+                self.unlink(r);
+                absorbed += 1;
+            }
+        }
+        let mut roots: Vec<usize> = Vec::with_capacity(merged.len());
+        roots.push(survivor);
+        roots.extend(merged.iter().copied().filter(|&r| r != survivor));
+        self.union_all(&roots);
+        wormtrace::counter("graph.scc.merges", absorbed);
+    }
+
+    /// Unlink `r`, then reinsert the (tag-sorted, already unlinked or
+    /// about-to-be-unlinked) roots right after `anchor`, preserving
+    /// their relative order.
+    fn relocate_after(&mut self, anchor: usize, roots: Vec<usize>) {
+        for &r in &roots {
+            self.unlink(r);
+        }
+        self.insert_chain_after(anchor, &roots);
+    }
+
+    /// Remove `r` from the order list.
+    fn unlink(&mut self, r: usize) {
+        let (p, n) = (self.prev[r], self.next[r]);
+        self.next[p] = n;
+        self.prev[n] = p;
+    }
+
+    /// Splice `items` (already unlinked) into the list right after
+    /// `x`, assigning strictly increasing tags inside the gap. Runs a
+    /// local relabel first when the gap is too cramped.
+    fn insert_chain_after(&mut self, x: usize, items: &[usize]) {
+        if items.is_empty() {
+            return;
+        }
+        self.make_room_after(x, items.len() as u64);
+        let after = self.next[x];
+        let span = self.tag[after] - self.tag[x];
+        let step = span / (items.len() as u64 + 1);
+        debug_assert!(step >= 1, "make_room_after must leave ≥ k+1 tag slots");
+        let mut cur = x;
+        for (i, &r) in items.iter().enumerate() {
+            self.tag[r] = self.tag[x] + (i as u64 + 1) * step;
+            self.next[cur] = r;
+            self.prev[r] = cur;
+            cur = r;
+        }
+        self.next[cur] = after;
+        self.prev[after] = cur;
+    }
+
+    /// Ensure the gap after `x` can host `k` new tags with healthy
+    /// spacing: if `tag[next[x]] − tag[x] < (k + 1) · MIN_GAP`, walk
+    /// forward collecting roots until the enclosing span is wide
+    /// enough, then respace them evenly, leaving the first `k + 1`
+    /// slots of the span free. This is the amortized local relabel of
+    /// the order-maintenance structure.
+    fn make_room_after(&mut self, x: usize, k: u64) {
+        let need = |m: u64| (k + m + 1).saturating_mul(MIN_GAP);
+        if self.tag[self.next[x]] - self.tag[x] >= need(0) {
+            return;
+        }
+        let mut moved: Vec<usize> = Vec::new();
+        let bound = loop {
+            let y = self.next[*moved.last().unwrap_or(&x)];
+            if self.tag[y] == TAIL_TAG {
+                break TAIL_TAG;
+            }
+            if self.tag[y] - self.tag[x] >= need(moved.len() as u64) {
+                break self.tag[y];
+            }
+            moved.push(y);
+        };
+        let m = moved.len() as u64;
+        let span = bound - self.tag[x];
+        let step = span / (k + m + 1);
+        assert!(step >= 1, "order-maintenance tag space exhausted");
+        for (i, &y) in moved.iter().enumerate() {
+            self.tag[y] = self.tag[x] + (k + 1 + i as u64) * step;
+        }
+        wormtrace::counter("graph.scc.relabels", 1);
+    }
+
+    /// Union-find lookup with path compression.
+    fn find_compress(&mut self, v: usize) -> usize {
+        let root = self.find(v);
+        let mut cur = v;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Union the listed roots into one component (the first entry
+    /// survives), concatenating edge lists and compacting them under
+    /// the same doubling amortization as Pearce–Kelly.
+    fn union_all(&mut self, roots: &[usize]) -> usize {
+        let survivor = roots[0];
+        for &r in &roots[1..] {
+            self.parent[r] = survivor;
+            let out = std::mem::take(&mut self.out[r]);
+            self.out[survivor].extend(out);
+            let inc = std::mem::take(&mut self.inc[r]);
+            self.inc[survivor].extend(inc);
+            self.components -= 1;
+        }
+        let grown = self.out[survivor].len().max(self.inc[survivor].len());
+        if grown >= 16.max(2 * self.compact_floor[survivor]) {
+            for forward in [true, false] {
+                let mut edges = std::mem::take(if forward {
+                    &mut self.out[survivor]
+                } else {
+                    &mut self.inc[survivor]
+                });
+                for t in edges.iter_mut() {
+                    *t = self.find(*t);
+                }
+                edges.sort_unstable();
+                edges.dedup();
+                edges.retain(|&t| t != survivor);
+                if forward {
+                    self.out[survivor] = edges;
+                } else {
+                    self.inc[survivor] = edges;
+                }
+            }
+            self.compact_floor[survivor] = self.out[survivor].len().max(self.inc[survivor].len());
+            wormtrace::counter("graph.scc.compactions", 1);
+        }
+        survivor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{tarjan_scc, AdjList};
+    use super::*;
+
+    /// Canonical form of Tarjan output for comparison.
+    fn tarjan_canonical(g: &AdjList) -> Vec<Vec<usize>> {
+        let mut comps = tarjan_scc(g);
+        for c in &mut comps {
+            c.sort_unstable();
+        }
+        comps.sort_by_key(|c| c[0]);
+        comps
+    }
+
+    /// The tag order must be a valid topological order of the
+    /// condensation: every recorded inter-component edge points from a
+    /// lower tag to a higher one.
+    fn assert_order_valid(s: &HkmstScc) {
+        for r in 0..s.vertex_count() {
+            if s.find(r) != r {
+                continue;
+            }
+            for &t in &s.out[r] {
+                let rt = s.find(t);
+                if rt != r {
+                    assert!(
+                        s.tag[r] < s.tag[rt],
+                        "order violated: tag[{r}]={} !< tag[{rt}]={}",
+                        s.tag[r],
+                        s.tag[rt]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stays_acyclic_on_forward_edges() {
+        let mut s = HkmstScc::new(4);
+        assert!(!s.add_edge(0, 1));
+        assert!(!s.add_edge(1, 2));
+        assert!(!s.add_edge(2, 3));
+        assert!(s.is_acyclic());
+        assert_eq!(s.component_count(), 4);
+    }
+
+    #[test]
+    fn detects_the_closing_edge_of_a_cycle() {
+        let mut s = HkmstScc::new(3);
+        assert!(!s.add_edge(0, 1));
+        assert!(!s.add_edge(1, 2));
+        assert!(s.add_edge(2, 0));
+        assert!(!s.is_acyclic());
+        assert_eq!(s.component_count(), 1);
+        assert!(s.same_component(0, 2));
+    }
+
+    #[test]
+    fn order_violating_edge_without_cycle_reorders() {
+        let mut s = HkmstScc::new(4);
+        s.add_edge(0, 1);
+        s.add_edge(2, 3);
+        // 3 → 0 violates the initial 0,1,2,3 order but closes nothing.
+        assert!(!s.add_edge(3, 0));
+        assert!(s.is_acyclic());
+        assert_order_valid(&s);
+        // 1 → 2 closes 1→2→3→0→1 through the reordered region.
+        assert!(s.add_edge(1, 2));
+        assert_eq!(s.component_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_break_acyclicity() {
+        let mut s = HkmstScc::new(2);
+        assert!(s.add_edge(1, 1));
+        assert!(!s.is_acyclic());
+        assert_eq!(s.component_count(), 2, "self-loops merge nothing");
+    }
+
+    #[test]
+    fn two_cycles_merge_into_one_component_via_bridge() {
+        let mut s = HkmstScc::new(6);
+        for (u, v) in [(0, 1), (1, 0), (3, 4), (4, 3)] {
+            s.add_edge(u, v);
+        }
+        assert_eq!(s.component_count(), 4);
+        s.add_edge(1, 3);
+        assert_eq!(s.component_count(), 4);
+        assert!(s.add_edge(4, 0), "closing the bridge merges both cycles");
+        assert_eq!(s.component_count(), 3);
+        assert!(s.same_component(0, 4));
+        assert!(!s.same_component(0, 5));
+    }
+
+    #[test]
+    fn differential_against_tarjan_on_random_sequences() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for case in 0..60 {
+            let n = rng.random_range(2..12);
+            let mut inc = HkmstScc::new(n);
+            let mut g = AdjList::new(n);
+            let edges = rng.random_range(0..30);
+            for _ in 0..edges {
+                let u = rng.random_range(0..n);
+                let v = rng.random_range(0..n);
+                if u == v {
+                    continue;
+                }
+                g.add_edge(u, v);
+                inc.add_edge(u, v);
+                let expect = tarjan_canonical(&g);
+                assert_eq!(
+                    inc.components(),
+                    expect,
+                    "case {case}: divergence after edge {u}->{v}"
+                );
+                assert_eq!(
+                    inc.is_acyclic(),
+                    expect.len() == n,
+                    "case {case}: acyclicity divergence"
+                );
+                assert_order_valid(&inc);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_ascending_then_descending_insertions() {
+        // Adversarial for the reordering logic: first a long chain,
+        // then back edges from high to low, merging everything.
+        let n = 40;
+        let mut s = HkmstScc::new(n);
+        for v in 0..n - 1 {
+            assert!(!s.add_edge(v, v + 1));
+        }
+        assert!(s.is_acyclic());
+        assert!(s.add_edge(n - 1, 0));
+        assert_eq!(s.component_count(), 1);
+        let comps = s.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+    }
+
+    #[test]
+    fn cramped_tags_exercise_the_relabel_path() {
+        // A 2-wide initial gap cannot host any insertion without a
+        // relabel; the structure must stay a valid order throughout
+        // and still agree with Tarjan.
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for case in 0..40 {
+            let n = rng.random_range(2..16);
+            let mut inc = HkmstScc::with_initial_gap(n, 2);
+            let mut g = AdjList::new(n);
+            for _ in 0..rng.random_range(0..40) {
+                let u = rng.random_range(0..n);
+                let v = rng.random_range(0..n);
+                if u == v {
+                    continue;
+                }
+                g.add_edge(u, v);
+                inc.add_edge(u, v);
+                assert_eq!(inc.components(), tarjan_canonical(&g), "case {case}");
+                assert_order_valid(&inc);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_paths_merge_every_branch_not_just_the_found_one() {
+        // v ⇒ u through two disjoint branches: the merge set must
+        // contain both, not just whichever branch a single search
+        // happened to discover first.
+        let mut s = HkmstScc::new(6);
+        // Branch A: 1 → 2 → 5, branch B: 1 → 3 → 4 → 5.
+        for (u, v) in [(1, 2), (2, 5), (1, 3), (3, 4), (4, 5)] {
+            assert!(!s.add_edge(u, v));
+        }
+        // Closing 5 → 1 puts *both* branches in one component.
+        assert!(s.add_edge(5, 1));
+        assert_eq!(s.component_count(), 2);
+        let comps = s.components();
+        assert_eq!(comps[0], vec![0]);
+        assert_eq!(comps[1], vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn mega_component_absorbs_chained_rings() {
+        // Rings merged one after another through bridge edges; the
+        // surviving component must keep answering membership and the
+        // structure must stay consistent with Tarjan at each stage.
+        let n = 30;
+        let mut s = HkmstScc::new(n);
+        let mut g = AdjList::new(n);
+        let add = |s: &mut HkmstScc, g: &mut AdjList, u: usize, v: usize| {
+            g.add_edge(u, v);
+            s.add_edge(u, v);
+        };
+        for ring in 0..6 {
+            let base = ring * 5;
+            for i in 0..5 {
+                add(&mut s, &mut g, base + i, base + (i + 1) % 5);
+            }
+        }
+        assert_eq!(s.component_count(), 6);
+        for ring in 0..5 {
+            add(&mut s, &mut g, ring * 5, (ring + 1) * 5);
+            add(&mut s, &mut g, (ring + 1) * 5, ring * 5);
+            assert_eq!(s.components(), tarjan_canonical(&g));
+        }
+        assert_eq!(s.component_count(), 1);
+    }
+}

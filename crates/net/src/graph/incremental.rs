@@ -23,7 +23,18 @@
 //! Differential tests hold it to [`tarjan_scc`] on random insertion
 //! sequences.
 //!
+//! Because *both* closures of the affected region run to completion on
+//! every violation, dense cyclic CDGs degrade this engine to O(n·m) —
+//! the no-VC dragonfly workload spends ~10^9 closure edge visits. The
+//! [`HkmstScc`] engine bounds the same work at O(m^{3/2}) with a
+//! balanced two-way search; this implementation stays as the second
+//! oracle behind the [`SccEngine`] seam, and both publish the
+//! `graph.scc.*` wormtrace counters (order violations, edge visits,
+//! merges, compactions) that make the difference measurable.
+//!
 //! [`tarjan_scc`]: super::tarjan_scc
+//! [`HkmstScc`]: super::HkmstScc
+//! [`SccEngine`]: super::SccEngine
 
 /// Online strongly-connected-component tracker over a fixed vertex
 /// set, fed one directed edge at a time.
@@ -115,10 +126,13 @@ impl IncrementalScc {
         }
         // Affected region: components positioned between rv and ru.
         // Forward closure of rv and backward closure of ru inside it.
+        wormtrace::counter("graph.scc.order_violations", 1);
         let lo = self.pos[rv];
         let hi = self.pos[ru];
-        let fwd = self.closure(rv, lo, hi, true);
-        let bwd = self.closure(ru, lo, hi, false);
+        let mut visits = 0u64;
+        let fwd = self.closure(rv, lo, hi, true, &mut visits);
+        let bwd = self.closure(ru, lo, hi, false, &mut visits);
+        wormtrace::counter("graph.scc.edge_visits", visits);
         self.out[ru].push(v);
         self.inc[rv].push(u);
 
@@ -204,7 +218,14 @@ impl IncrementalScc {
     /// every later scan of its adjacency re-walk deep union-find
     /// chains, which is what turns a cluster-scale cyclic CDG
     /// quadratic.
-    fn closure(&mut self, start: usize, lo: usize, hi: usize, forward: bool) -> Vec<usize> {
+    fn closure(
+        &mut self,
+        start: usize,
+        lo: usize,
+        hi: usize,
+        forward: bool,
+        visits: &mut u64,
+    ) -> Vec<usize> {
         let mut member = std::collections::HashSet::from([start]);
         let mut seen = vec![start];
         let mut stack = vec![start];
@@ -223,6 +244,7 @@ impl IncrementalScc {
                 seen.push(rt);
                 stack.push(rt);
             }
+            *visits += edges.len() as u64;
             if forward {
                 self.out[r] = edges;
             } else {
@@ -253,6 +275,7 @@ impl IncrementalScc {
             self.inc[survivor].extend(inc);
             self.components -= 1;
         }
+        wormtrace::counter("graph.scc.merges", (roots.len() - 1) as u64);
         let grown = self.out[survivor].len().max(self.inc[survivor].len());
         if grown >= 16.max(2 * self.compact_floor[survivor]) {
             for forward in [true, false] {
@@ -274,6 +297,7 @@ impl IncrementalScc {
                 }
             }
             self.compact_floor[survivor] = self.out[survivor].len().max(self.inc[survivor].len());
+            wormtrace::counter("graph.scc.compactions", 1);
         }
         survivor
     }

@@ -10,6 +10,8 @@
 //! asymptotically good algorithms (Tarjan, Johnson).
 
 mod cycles;
+mod engine;
+mod hkmst;
 mod incremental;
 mod paths;
 mod scc;
@@ -18,6 +20,8 @@ mod topo;
 pub use cycles::{
     elementary_cycles, elementary_cycles_bounded, elementary_cycles_prefix, elementary_cycles_visit,
 };
+pub use engine::{SccEngine, SccEngineKind};
+pub use hkmst::HkmstScc;
 pub use incremental::IncrementalScc;
 pub use paths::{bfs_distances, bfs_path, reachable_from};
 pub use scc::tarjan_scc;

@@ -1,0 +1,251 @@
+//! Adversarial differential harness for the incremental SCC engines.
+//!
+//! The HKMST balanced two-way engine is pinned to two oracles on the
+//! same edge-insertion sequence:
+//!
+//! * **Tarjan** (`tarjan_scc` on the accumulated graph): final
+//!   component partition and acyclicity after *every* insertion;
+//! * **Pearce–Kelly** (`IncrementalScc`): the per-insertion cycle
+//!   verdict (`add_edge`'s return) must agree at every step, so the
+//!   two engines are interchangeable behind the `SccEngine` seam.
+//!
+//! Generators cover the shapes that historically break online order
+//! maintenance: uniformly random sequences, dense cyclic CDG-shaped
+//! graphs (local cliques bridged into rings, the no-VC dragonfly
+//! pattern), pre-sorted and reverse-topological insertion orders
+//! (all-consistent vs. all-violating extremes), mega-component merge
+//! chains, and self-loop / duplicate-edge degeneracies.
+
+use cyclic_wormhole::net::graph::{
+    tarjan_scc, AdjList, HkmstScc, IncrementalScc, SccEngine, SccEngineKind,
+};
+use proptest::prelude::*;
+
+/// Canonical Tarjan partition: each component sorted, components
+/// ordered by smallest member — the form both engines' `components()`
+/// emit.
+fn tarjan_canonical(g: &AdjList) -> Vec<Vec<usize>> {
+    let mut comps = tarjan_scc(g);
+    for c in &mut comps {
+        c.sort_unstable();
+    }
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+/// Drive one edge sequence through HKMST, Pearce–Kelly and batch
+/// Tarjan, asserting three-way agreement at every insertion point.
+fn assert_sequence_agrees(n: usize, edges: &[(usize, usize)]) {
+    let mut hkmst = HkmstScc::new(n);
+    let mut pk = IncrementalScc::new(n);
+    let mut g = AdjList::new(n);
+    for (step, &(u, v)) in edges.iter().enumerate() {
+        g.add_edge(u, v);
+        let h_cycle = hkmst.add_edge(u, v);
+        let p_cycle = pk.add_edge(u, v);
+        assert_eq!(
+            h_cycle, p_cycle,
+            "step {step} ({u}->{v}): engines disagree on the cycle verdict"
+        );
+        let expect = tarjan_canonical(&g);
+        assert_eq!(
+            hkmst.components(),
+            expect,
+            "step {step} ({u}->{v}): HKMST diverged from Tarjan"
+        );
+        assert_eq!(
+            pk.components(),
+            expect,
+            "step {step} ({u}->{v}): Pearce-Kelly diverged from Tarjan"
+        );
+        assert_eq!(hkmst.is_acyclic(), pk.is_acyclic(), "step {step}");
+        assert_eq!(hkmst.component_count(), pk.component_count(), "step {step}");
+    }
+}
+
+/// A dense cyclic CDG-shaped instance: `groups` local cliques (every
+/// intra-group edge both ways, like the all-to-all local channels of a
+/// dragonfly group) bridged into a global ring, the structure that
+/// makes the no-VC dragonfly CDG adversarial for order maintenance.
+fn cdg_shaped_edges(groups: usize, size: usize) -> (usize, Vec<(usize, usize)>) {
+    let n = groups * size;
+    let mut edges = Vec::new();
+    for gidx in 0..groups {
+        let base = gidx * size;
+        for a in 0..size {
+            for b in 0..size {
+                if a != b {
+                    edges.push((base + a, base + b));
+                }
+            }
+        }
+        edges.push((base, ((gidx + 1) % groups) * size));
+    }
+    (n, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Uniformly random insertion sequences: the bread-and-butter
+    /// differential.
+    #[test]
+    fn random_sequences_agree(
+        n in 2usize..14,
+        raw in prop::collection::vec((0usize..14, 0usize..14), 0..48),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        assert_sequence_agrees(n, &edges);
+    }
+
+    /// The same sequences through the `SccEngine` wrapper: the seam
+    /// must not change any verdict.
+    #[test]
+    fn engine_seam_is_transparent(
+        n in 2usize..10,
+        raw in prop::collection::vec((0usize..10, 0usize..10), 0..30),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            raw.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let mut direct = HkmstScc::new(n);
+        let mut wrapped = SccEngine::new(SccEngineKind::Hkmst, n);
+        let mut oracle = SccEngine::new(SccEngineKind::PearceKelly, n);
+        for &(u, v) in &edges {
+            let d = direct.add_edge(u, v);
+            prop_assert_eq!(wrapped.add_edge(u, v), d);
+            prop_assert_eq!(oracle.add_edge(u, v), d);
+            prop_assert_eq!(wrapped.components(), direct.components());
+            prop_assert_eq!(oracle.components(), direct.components());
+        }
+        prop_assert_eq!(wrapped.is_acyclic(), oracle.is_acyclic());
+    }
+
+    /// Random sequences under an artificially cramped tag space, so
+    /// the HKMST order-maintenance relabel path runs constantly.
+    #[test]
+    fn cramped_tag_space_agrees(
+        n in 2usize..12,
+        gap in 1u64..4,
+        raw in prop::collection::vec((0usize..12, 0usize..12), 0..40),
+    ) {
+        let mut hkmst = HkmstScc::with_initial_gap(n, gap);
+        let mut g = AdjList::new(n);
+        for &(u, v) in &raw {
+            let (u, v) = (u % n, v % n);
+            g.add_edge(u, v);
+            hkmst.add_edge(u, v);
+            prop_assert_eq!(hkmst.components(), tarjan_canonical(&g));
+        }
+    }
+}
+
+#[test]
+fn dense_cyclic_cdg_shaped_graphs() {
+    // Bridged local cliques — the miniature of the no-VC dragonfly
+    // CDG. Insert in generator order, then in reverse, then shuffled
+    // deterministically.
+    use rand::{RngExt, SeedableRng};
+    for (groups, size) in [(3, 3), (4, 4), (5, 3)] {
+        let (n, edges) = cdg_shaped_edges(groups, size);
+        assert_sequence_agrees(n, &edges);
+        let reversed: Vec<_> = edges.iter().rev().copied().collect();
+        assert_sequence_agrees(n, &reversed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut shuffled = edges.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.random_range(0..i + 1));
+        }
+        assert_sequence_agrees(n, &shuffled);
+    }
+}
+
+#[test]
+fn presorted_insertion_order_never_violates() {
+    // Edges inserted in topological order (u < v throughout) never
+    // trigger the violation path; the engines must stay acyclic and
+    // agree with Tarjan trivially.
+    let n = 24;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1..n).step_by(3) {
+            edges.push((u, v));
+        }
+    }
+    assert_sequence_agrees(n, &edges);
+}
+
+#[test]
+fn reverse_topological_insertion_order_always_violates() {
+    // Every edge (u > v in initial-order terms) is an order violation
+    // with an empty affected region or a long one — the all-violating
+    // extreme of the reorder logic, still acyclic throughout.
+    let n = 24;
+    let mut edges = Vec::new();
+    for u in (0..n).rev() {
+        for v in (0..u).step_by(3) {
+            edges.push((u, v));
+        }
+    }
+    assert_sequence_agrees(n, &edges);
+}
+
+#[test]
+fn mega_component_merge_chain() {
+    // Grow one giant SCC by absorbing rings one at a time: every merge
+    // extends the dominant component, stressing adjacency compaction
+    // and tag reuse of the survivor.
+    let rings = 8;
+    let size = 5;
+    let n = rings * size;
+    let mut edges = Vec::new();
+    for r in 0..rings {
+        let base = r * size;
+        for i in 0..size {
+            edges.push((base + i, base + (i + 1) % size));
+        }
+    }
+    for r in 0..rings - 1 {
+        edges.push((r * size, (r + 1) * size));
+        edges.push(((r + 1) * size, r * size));
+    }
+    assert_sequence_agrees(n, &edges);
+}
+
+#[test]
+fn self_loops_and_duplicate_edges() {
+    // Self-loops flip acyclicity without merging; duplicates must be
+    // idempotent on the partition no matter how often they arrive.
+    let edges = [
+        (0, 1),
+        (0, 1),
+        (1, 2),
+        (2, 2),
+        (1, 2),
+        (2, 0),
+        (2, 0),
+        (0, 0),
+        (3, 1),
+        (3, 1),
+    ];
+    assert_sequence_agrees(4, &edges);
+}
+
+#[test]
+fn parallel_branch_merges_capture_every_branch() {
+    // Two disjoint v ⇒ u branches closed by one back edge: the merge
+    // set must contain both branches (a first-path-only merge is the
+    // classic incremental-SCC bug).
+    let edges = [
+        (1, 2),
+        (2, 5),
+        (1, 3),
+        (3, 4),
+        (4, 5),
+        (5, 1),
+        // Then extend the component through a second closure.
+        (5, 6),
+        (6, 1),
+    ];
+    assert_sequence_agrees(7, &edges);
+}
