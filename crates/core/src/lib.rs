@@ -47,6 +47,7 @@ pub mod conditions;
 pub mod degraded;
 pub mod family;
 pub mod paper;
+pub mod spec;
 pub mod symmetry;
 pub mod validate;
 

@@ -48,6 +48,7 @@ mod injector;
 mod plan;
 mod reverify;
 mod runner;
+pub mod spec;
 
 pub use injector::{FaultInjector, FaultReport, RetryPolicy};
 pub use plan::{FaultEvent, FaultPlan};

@@ -1,0 +1,188 @@
+//! Resolve a `wormspec/1` faults section into a [`FaultPlan`].
+//!
+//! The deterministic event forms mirror the plan builder one-to-one;
+//! `random(seed = …)` delegates to [`FaultPlan::random`], so a spec
+//! can reproduce any seeded fault campaign the Rust API can. When both
+//! are present, the random events are generated first and the explicit
+//! declarations are appended.
+
+use wormnet::{ChannelId, Network};
+use wormsim::MessageId;
+use wormspec::ast::{FaultDecl, Faults};
+use wormspec::diag::{codes, Span, SpecError};
+
+use crate::FaultPlan;
+
+fn err(code: &'static str, msg: impl Into<String>, span: Span) -> SpecError {
+    SpecError::new(code, msg, span)
+}
+
+fn channel(
+    net: &Network,
+    id: &wormspec::ast::Spanned<u64>,
+) -> Result<ChannelId, SpecError> {
+    let idx = usize::try_from(id.value)
+        .map_err(|_| err(codes::RANGE, "channel index out of range", id.span))?;
+    if idx >= net.channel_count() {
+        return Err(err(
+            codes::RESOLVE,
+            format!(
+                "channel c{idx} does not exist (the topology has {} channels)",
+                net.channel_count()
+            ),
+            id.span,
+        ));
+    }
+    Ok(ChannelId::from_index(idx))
+}
+
+fn message(
+    id: &wormspec::ast::Spanned<u64>,
+    message_count: usize,
+) -> Result<MessageId, SpecError> {
+    let idx = usize::try_from(id.value)
+        .map_err(|_| err(codes::RANGE, "message index out of range", id.span))?;
+    if idx >= message_count {
+        return Err(err(
+            codes::RESOLVE,
+            format!("message m{idx} does not exist (the traffic resolves to {message_count} messages)"),
+            id.span,
+        ));
+    }
+    Ok(MessageId::from_index(idx))
+}
+
+/// Resolve the faults section.
+///
+/// `message_count` is the length of the resolved traffic's message
+/// list (see `wormsim::spec::messages_from_spec`); `mN` references are
+/// bounds-checked against it.
+pub fn plan_from_spec(
+    f: &Faults,
+    net: &Network,
+    message_count: usize,
+) -> Result<FaultPlan, SpecError> {
+    let mut plan = match &f.random {
+        Some(r) => {
+            let outages = usize::try_from(r.outages.value)
+                .map_err(|_| err(codes::RANGE, "outage count out of range", r.outages.span))?;
+            let stalls = usize::try_from(r.stalls.value)
+                .map_err(|_| err(codes::RANGE, "stall count out of range", r.stalls.span))?;
+            FaultPlan::random(net, r.seed.value, outages, stalls, r.horizon.value.value)
+        }
+        None => FaultPlan::new(),
+    };
+    for event in &f.events {
+        plan = match event {
+            FaultDecl::Down { channel: c, at } => {
+                plan.channel_down(channel(net, c)?, at.value.value)
+            }
+            FaultDecl::Up { channel: c, at } => plan.channel_up(channel(net, c)?, at.value.value),
+            FaultDecl::Outage {
+                channel: c,
+                from,
+                until,
+            } => {
+                if until.value <= from.value {
+                    return Err(err(
+                        codes::RANGE,
+                        "an outage must end after it starts",
+                        from.span.to(until.span),
+                    ));
+                }
+                plan.channel_outage(channel(net, c)?, from.value, until.value)
+            }
+            FaultDecl::Stall { node, at, dur } => {
+                let n = net.node_by_name(&node.value).ok_or_else(|| {
+                    err(codes::RESOLVE, format!("unknown node \"{}\"", node.value), node.span)
+                })?;
+                plan.router_stall(n, at.value.value, dur.value.value)
+            }
+            FaultDecl::Drop { msg, at } => {
+                plan.flit_drop(message(msg, message_count)?, at.value.value)
+            }
+            FaultDecl::Corrupt { msg, at } => {
+                plan.flit_corrupt(message(msg, message_count)?, at.value.value)
+            }
+            FaultDecl::Delay { msg, by } => {
+                plan.inject_delay(message(msg, message_count)?, by.value.value)
+            }
+        };
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormnet::spec::build_topology;
+    use wormspec::parse;
+
+    fn resolve(src: &str, message_count: usize) -> Result<FaultPlan, SpecError> {
+        let spec = parse(src).expect("spec parses");
+        let topo = build_topology(&spec.topology)?;
+        plan_from_spec(
+            spec.faults.as_ref().expect("faults"),
+            topo.network(),
+            message_count,
+        )
+    }
+
+    #[test]
+    fn deterministic_events_replay_into_the_plan() {
+        let plan = resolve(
+            "wormspec/1\n\
+             topology { kind = ring nodes = 4 }\n\
+             routing { engine = clockwise_ring }\n\
+             faults {\n\
+               down c0 @ 10 cycles\n\
+               outage c1 @ 5..9 cycles\n\
+               stall \"r1\" @ 3 cycles for 2 cycles\n\
+               drop m0 @ 2 cycles\n\
+               delay m1 by 4 cycles\n\
+             }\n",
+            2,
+        )
+        .unwrap();
+        // `outage` expands to a down/up pair, so 5 declarations
+        // become 6 events.
+        assert_eq!(plan.len(), 6);
+    }
+
+    #[test]
+    fn random_campaigns_match_the_api_constructor() {
+        let spec_plan = resolve(
+            "wormspec/1\n\
+             topology { kind = ring nodes = 6 }\n\
+             routing { engine = clockwise_ring }\n\
+             faults { random(seed = 42, outages = 2, stalls = 1, horizon = 100 cycles) }\n",
+            0,
+        )
+        .unwrap();
+        let (net, _) = wormnet::topology::ring_unidirectional(6);
+        let api_plan = FaultPlan::random(&net, 42, 2, 1, 100);
+        assert_eq!(spec_plan.events(), api_plan.events());
+    }
+
+    #[test]
+    fn out_of_range_references_fail_to_resolve() {
+        let e = resolve(
+            "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\nfaults { down c9 @ 1 cycles }\n",
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, codes::RESOLVE);
+        let e = resolve(
+            "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\nfaults { drop m3 @ 1 cycles }\n",
+            2,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, codes::RESOLVE);
+        let e = resolve(
+            "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\nfaults { outage c0 @ 9..5 cycles }\n",
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, codes::RANGE);
+    }
+}

@@ -55,6 +55,7 @@ pub mod json;
 pub mod lint;
 pub mod lints;
 pub mod registry;
+pub mod spec;
 
 pub use context::{CandidateAnalysis, CycleAnalysis, LintContext, StaticClass};
 pub use diagnostic::{Diagnostic, Severity};

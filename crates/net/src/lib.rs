@@ -57,6 +57,7 @@ mod network;
 mod node;
 
 pub mod graph;
+pub mod spec;
 pub mod topology;
 
 pub use channel::{Channel, ChannelId};

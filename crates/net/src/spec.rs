@@ -1,0 +1,537 @@
+//! Build a network from a parsed `wormspec/1` topology section.
+//!
+//! This is the first resolution seam of the spec pipeline: syntax
+//! lives in `wormspec` (zero dependencies), while each crate that owns
+//! a builder owns the code that drives it from the AST. Resolution
+//! errors reuse [`wormspec::SpecError`] so they render with the same
+//! line/column snippets as parse errors.
+//!
+//! The result is a [`BuiltTopology`] rather than a bare [`Network`]:
+//! routing engines downstream (e.g. `dimension_order`) need the typed
+//! builder (its coordinate maps), not just the channel list.
+
+use wormspec::ast::{Decl, RingDirection, Topology, TopologyKind};
+use wormspec::diag::{codes, Span, SpecError};
+
+use crate::topology::{complete, ring_bidirectional, ring_unidirectional, ring_with_vcs};
+use crate::topology::{Dragonfly, FatTree, Hypercube, Mesh, Torus};
+use crate::{Network, NodeId};
+
+/// A topology built from a spec, keeping the typed builder alive so
+/// routing engines can consult coordinates, tiers, lanes, ….
+pub enum BuiltTopology {
+    /// `kind = mesh`
+    Mesh(Mesh),
+    /// `kind = torus`
+    Torus(Torus),
+    /// `kind = hypercube`
+    Hypercube(Hypercube),
+    /// `kind = dragonfly`
+    Dragonfly(Dragonfly),
+    /// `kind = fattree`
+    FatTree(FatTree),
+    /// `kind = ring`
+    Ring {
+        /// The network.
+        net: Network,
+        /// Node ids in ring order.
+        nodes: Vec<NodeId>,
+    },
+    /// `kind = complete`
+    Complete {
+        /// The network.
+        net: Network,
+        /// Node ids in insertion order.
+        nodes: Vec<NodeId>,
+    },
+    /// `kind = explicit`
+    Explicit(Network),
+}
+
+impl std::fmt::Debug for BuiltTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BuiltTopology::{} ({} nodes, {} channels)",
+            self.kind_keyword(),
+            self.network().node_count(),
+            self.network().channel_count()
+        )
+    }
+}
+
+impl BuiltTopology {
+    /// The underlying network, whatever the kind.
+    pub fn network(&self) -> &Network {
+        match self {
+            BuiltTopology::Mesh(m) => m.network(),
+            BuiltTopology::Torus(t) => t.network(),
+            BuiltTopology::Hypercube(h) => h.network(),
+            BuiltTopology::Dragonfly(d) => d.network(),
+            BuiltTopology::FatTree(f) => f.network(),
+            BuiltTopology::Ring { net, .. } => net,
+            BuiltTopology::Complete { net, .. } => net,
+            BuiltTopology::Explicit(net) => net,
+        }
+    }
+
+    /// The spec keyword of the built kind (used in engine-mismatch
+    /// diagnostics).
+    pub fn kind_keyword(&self) -> &'static str {
+        match self {
+            BuiltTopology::Mesh(_) => "mesh",
+            BuiltTopology::Torus(_) => "torus",
+            BuiltTopology::Hypercube(_) => "hypercube",
+            BuiltTopology::Dragonfly(_) => "dragonfly",
+            BuiltTopology::FatTree(_) => "fattree",
+            BuiltTopology::Ring { .. } => "ring",
+            BuiltTopology::Complete { .. } => "complete",
+            BuiltTopology::Explicit(_) => "explicit",
+        }
+    }
+}
+
+fn err(code: &'static str, msg: impl Into<String>, span: Span) -> SpecError {
+    SpecError::new(code, msg, span)
+}
+
+fn require<'a, T>(
+    slot: &'a Option<T>,
+    key: &str,
+    kind: TopologyKind,
+    at: Span,
+) -> Result<&'a T, SpecError> {
+    slot.as_ref().ok_or_else(|| {
+        err(
+            codes::MISSING,
+            format!("`kind = {}` needs `{key} = ...`", kind.keyword()),
+            at,
+        )
+    })
+}
+
+/// Reject keys that do not belong to the declared kind, so a typo like
+/// giving a ring `dims` fails loudly instead of being ignored.
+fn reject_foreign_keys(t: &Topology, allowed: &[&str]) -> Result<(), SpecError> {
+    let mut present: Vec<(&str, Span)> = Vec::new();
+    if let Some(s) = &t.dims {
+        present.push(("dims", s.span));
+    }
+    if let Some(s) = &t.vcs {
+        present.push(("vcs", s.span));
+    }
+    if let Some(s) = &t.nodes {
+        present.push(("nodes", s.span));
+    }
+    if let Some(s) = &t.direction {
+        present.push(("direction", s.span));
+    }
+    if let Some(s) = &t.groups {
+        present.push(("groups", s.span));
+    }
+    if let Some(s) = &t.routers {
+        present.push(("routers", s.span));
+    }
+    if let Some(s) = &t.local_lanes {
+        present.push(("local_lanes", s.span));
+    }
+    if let Some(s) = &t.global_lanes {
+        present.push(("global_lanes", s.span));
+    }
+    if let Some(s) = &t.valiant {
+        present.push(("valiant", s.span));
+    }
+    if let Some(s) = &t.k {
+        present.push(("k", s.span));
+    }
+    if let Some(s) = &t.dim {
+        present.push(("dim", s.span));
+    }
+    for (key, span) in present {
+        if !allowed.contains(&key) {
+            return Err(err(
+                codes::CONFLICT,
+                format!(
+                    "key `{key}` does not apply to `kind = {}`",
+                    t.kind.value.keyword()
+                ),
+                span,
+            ));
+        }
+    }
+    if t.kind.value != TopologyKind::Explicit {
+        if let Some(d) = t.decls.first() {
+            let span = match d {
+                Decl::Node(n) => n.name.span,
+                Decl::Channel(c) => c.src.span,
+            };
+            return Err(err(
+                codes::CONFLICT,
+                format!(
+                    "`node`/`channel` declarations need `kind = explicit`, not `kind = {}`",
+                    t.kind.value.keyword()
+                ),
+                span,
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn as_usize(n: u64, what: &str, span: Span) -> Result<usize, SpecError> {
+    usize::try_from(n).map_err(|_| err(codes::RANGE, format!("{what} out of range"), span))
+}
+
+fn as_u8(n: u64, what: &str, span: Span) -> Result<u8, SpecError> {
+    u8::try_from(n).map_err(|_| err(codes::RANGE, format!("{what} must fit in 8 bits"), span))
+}
+
+/// Build the topology a spec describes.
+///
+/// Builder invariants (a mesh dimension of zero, a one-node ring, an
+/// odd fat-tree arity, …) are validated *here*, returning
+/// [`SpecError`]s with spans, so user input never reaches the
+/// builders' panicking asserts.
+pub fn build_topology(t: &Topology) -> Result<BuiltTopology, SpecError> {
+    let kind = t.kind.value;
+    let at = t.kind.span;
+    match kind {
+        TopologyKind::Mesh => {
+            reject_foreign_keys(t, &["dims", "vcs"])?;
+            let dims = require(&t.dims, "dims", kind, at)?;
+            let d = check_dims(dims)?;
+            match &t.vcs {
+                Some(v) => {
+                    let vcs = check_vcs(v)?;
+                    Ok(BuiltTopology::Mesh(Mesh::with_vcs(&d, vcs)))
+                }
+                None => Ok(BuiltTopology::Mesh(Mesh::new(&d))),
+            }
+        }
+        TopologyKind::Torus => {
+            reject_foreign_keys(t, &["dims", "vcs"])?;
+            let dims = require(&t.dims, "dims", kind, at)?;
+            let d = check_dims(dims)?;
+            if d.iter().any(|&x| x < 3) {
+                return Err(err(
+                    codes::RANGE,
+                    "torus extents must be at least 3 (wraparound needs distinct channels)",
+                    dims.span,
+                ));
+            }
+            let vcs = require(&t.vcs, "vcs", kind, at)?;
+            let vcs = check_vcs(vcs)?;
+            if vcs < 2 {
+                return Err(err(
+                    codes::RANGE,
+                    "a torus needs `vcs = 2 lanes` or more (dateline routing)",
+                    t.vcs.as_ref().expect("required above").span,
+                ));
+            }
+            Ok(BuiltTopology::Torus(Torus::new(&d, vcs)))
+        }
+        TopologyKind::Ring => {
+            reject_foreign_keys(t, &["nodes", "vcs", "direction"])?;
+            let n = require(&t.nodes, "nodes", kind, at)?;
+            let count = as_usize(n.value, "node count", n.span)?;
+            if count < 2 {
+                return Err(err(codes::RANGE, "a ring needs at least two nodes", n.span));
+            }
+            let direction = t
+                .direction
+                .as_ref()
+                .map(|d| d.value)
+                .unwrap_or(RingDirection::Unidirectional);
+            let (net, nodes) = match (&t.vcs, direction) {
+                (Some(v), RingDirection::Unidirectional) => {
+                    ring_with_vcs(count, check_vcs(v)?)
+                }
+                (Some(v), RingDirection::Bidirectional) => {
+                    return Err(err(
+                        codes::CONFLICT,
+                        "`vcs` (dateline lanes) applies only to unidirectional rings",
+                        v.span,
+                    ));
+                }
+                (None, RingDirection::Unidirectional) => ring_unidirectional(count),
+                (None, RingDirection::Bidirectional) => ring_bidirectional(count),
+            };
+            Ok(BuiltTopology::Ring { net, nodes })
+        }
+        TopologyKind::Hypercube => {
+            reject_foreign_keys(t, &["dim"])?;
+            let d = require(&t.dim, "dim", kind, at)?;
+            if d.value == 0 || d.value > 20 {
+                return Err(err(
+                    codes::RANGE,
+                    "hypercube dimension must be between 1 and 20",
+                    d.span,
+                ));
+            }
+            Ok(BuiltTopology::Hypercube(Hypercube::new(d.value as u32)))
+        }
+        TopologyKind::Dragonfly => {
+            reject_foreign_keys(
+                t,
+                &["groups", "routers", "local_lanes", "global_lanes", "valiant"],
+            )?;
+            let g = require(&t.groups, "groups", kind, at)?;
+            let r = require(&t.routers, "routers", kind, at)?;
+            let groups = as_usize(g.value, "group count", g.span)?;
+            let routers = as_usize(r.value, "router count", r.span)?;
+            if groups < 2 {
+                return Err(err(codes::RANGE, "a dragonfly needs at least two groups", g.span));
+            }
+            if routers < 2 {
+                return Err(err(
+                    codes::RANGE,
+                    "a dragonfly group needs at least two routers",
+                    r.span,
+                ));
+            }
+            let valiant = t.valiant.as_ref().map(|v| v.value).unwrap_or(false);
+            let has_lanes = t.local_lanes.is_some() || t.global_lanes.is_some();
+            if valiant && has_lanes {
+                return Err(err(
+                    codes::CONFLICT,
+                    "`valiant = true` selects its own lane sets; drop `local_lanes`/`global_lanes`",
+                    t.valiant.as_ref().expect("checked").span,
+                ));
+            }
+            if valiant {
+                if groups < 3 {
+                    return Err(err(
+                        codes::RANGE,
+                        "valiant dragonfly routing needs a third group to detour through",
+                        g.span,
+                    ));
+                }
+                return Ok(BuiltTopology::Dragonfly(Dragonfly::new_valiant(
+                    groups, routers,
+                )));
+            }
+            if has_lanes {
+                let local = lanes_of(&t.local_lanes, "local_lanes", at)?;
+                let global = lanes_of(&t.global_lanes, "global_lanes", at)?;
+                return Ok(BuiltTopology::Dragonfly(Dragonfly::with_lanes(
+                    groups, routers, &local, &global,
+                )));
+            }
+            Ok(BuiltTopology::Dragonfly(Dragonfly::new(groups, routers)))
+        }
+        TopologyKind::Fattree => {
+            reject_foreign_keys(t, &["k"])?;
+            let k = require(&t.k, "k", kind, at)?;
+            let kv = as_usize(k.value, "fat-tree arity", k.span)?;
+            if kv < 2 || kv % 2 != 0 {
+                return Err(err(
+                    codes::RANGE,
+                    "fat-tree arity `k` must be an even number >= 2",
+                    k.span,
+                ));
+            }
+            Ok(BuiltTopology::FatTree(FatTree::new(kv)))
+        }
+        TopologyKind::Complete => {
+            reject_foreign_keys(t, &["nodes"])?;
+            let n = require(&t.nodes, "nodes", kind, at)?;
+            let count = as_usize(n.value, "node count", n.span)?;
+            if count < 2 {
+                return Err(err(
+                    codes::RANGE,
+                    "a complete graph needs at least two nodes",
+                    n.span,
+                ));
+            }
+            let (net, nodes) = complete(count);
+            Ok(BuiltTopology::Complete { net, nodes })
+        }
+        TopologyKind::Explicit => {
+            reject_foreign_keys(t, &[])?;
+            build_explicit(t)
+        }
+    }
+}
+
+fn check_dims(dims: &wormspec::ast::Spanned<Vec<u64>>) -> Result<Vec<usize>, SpecError> {
+    if dims.value.is_empty() {
+        return Err(err(codes::RANGE, "`dims` must list at least one extent", dims.span));
+    }
+    if dims.value.iter().any(|&d| d < 2) {
+        return Err(err(codes::RANGE, "every mesh/torus extent must be at least 2", dims.span));
+    }
+    dims.value
+        .iter()
+        .map(|&d| as_usize(d, "dimension extent", dims.span))
+        .collect()
+}
+
+fn check_vcs(v: &wormspec::ast::Spanned<wormspec::ast::Quantity>) -> Result<u8, SpecError> {
+    let n = as_u8(v.value.value, "virtual-channel count", v.span)?;
+    if n == 0 {
+        return Err(err(codes::RANGE, "`vcs` must be at least 1 lane", v.span));
+    }
+    Ok(n)
+}
+
+fn lanes_of(
+    slot: &Option<wormspec::ast::Spanned<Vec<u64>>>,
+    key: &str,
+    at: Span,
+) -> Result<Vec<u8>, SpecError> {
+    let s = slot.as_ref().ok_or_else(|| {
+        err(
+            codes::MISSING,
+            format!("custom dragonfly lanes need both `local_lanes` and `global_lanes` (missing `{key}`)"),
+            at,
+        )
+    })?;
+    if s.value.is_empty() {
+        return Err(err(codes::RANGE, format!("`{key}` must be non-empty"), s.span));
+    }
+    s.value
+        .iter()
+        .map(|&l| as_u8(l, "lane index", s.span))
+        .collect()
+}
+
+/// Replay explicit `node`/`channel` declarations into a [`Network`].
+/// Declaration order is semantic: it assigns the dense node and
+/// channel ids that `cN` references and fault plans use.
+fn build_explicit(t: &Topology) -> Result<BuiltTopology, SpecError> {
+    let mut net = Network::new();
+    for decl in &t.decls {
+        match decl {
+            Decl::Node(n) => {
+                if net.node_by_name(&n.name.value).is_some() {
+                    return Err(err(
+                        codes::CONFLICT,
+                        format!("node \"{}\" declared twice", n.name.value),
+                        n.name.span,
+                    ));
+                }
+                net.add_node(n.name.value.clone());
+            }
+            Decl::Channel(c) => {
+                let src = net.node_by_name(&c.src.value).ok_or_else(|| {
+                    err(
+                        codes::RESOLVE,
+                        format!("unknown node \"{}\" (declare it before the channel)", c.src.value),
+                        c.src.span,
+                    )
+                })?;
+                let dst = net.node_by_name(&c.dst.value).ok_or_else(|| {
+                    err(
+                        codes::RESOLVE,
+                        format!("unknown node \"{}\" (declare it before the channel)", c.dst.value),
+                        c.dst.span,
+                    )
+                })?;
+                if src == dst {
+                    return Err(err(
+                        codes::CONFLICT,
+                        "self-loop channels are not allowed (Definition 1)",
+                        c.src.span.to(c.dst.span),
+                    ));
+                }
+                let lane = as_u8(c.lane.value, "lane index", c.lane.span)?;
+                let cap = as_usize(c.cap.value.value, "channel capacity", c.cap.span)?;
+                if cap == 0 {
+                    return Err(err(
+                        codes::RANGE,
+                        "channel capacity must be at least 1 flit",
+                        c.cap.span,
+                    ));
+                }
+                net.add_channel_full(src, dst, lane, cap, c.label.as_ref().map(|l| l.value.clone()));
+            }
+        }
+    }
+    if net.node_count() < 2 {
+        return Err(err(
+            codes::MISSING,
+            "an explicit topology needs at least two `node` declarations",
+            t.kind.span,
+        ));
+    }
+    Ok(BuiltTopology::Explicit(net))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormspec::parse;
+
+    fn topo(src: &str) -> Result<BuiltTopology, SpecError> {
+        build_topology(&parse(src).expect("spec parses").topology)
+    }
+
+    #[test]
+    fn builds_named_topologies() {
+        let m = topo("wormspec/1\ntopology { kind = mesh dims = [3, 3] }\nrouting { engine = x }\n").unwrap();
+        assert_eq!(m.network().node_count(), 9);
+        let t = topo("wormspec/1\ntopology { kind = torus dims = [4, 4] vcs = 2 lanes }\nrouting { engine = x }\n").unwrap();
+        assert_eq!(t.network().node_count(), 16);
+        let r = topo("wormspec/1\ntopology { kind = ring nodes = 5 }\nrouting { engine = x }\n").unwrap();
+        assert_eq!(r.network().channel_count(), 5);
+        let h = topo("wormspec/1\ntopology { kind = hypercube dim = 3 }\nrouting { engine = x }\n").unwrap();
+        assert_eq!(h.network().node_count(), 8);
+        let d = topo("wormspec/1\ntopology { kind = dragonfly groups = 3 routers = 2 }\nrouting { engine = x }\n").unwrap();
+        assert_eq!(d.network().node_count(), 6);
+        let f = topo("wormspec/1\ntopology { kind = fattree k = 4 }\nrouting { engine = x }\n").unwrap();
+        assert!(f.network().node_count() > 0);
+        let c = topo("wormspec/1\ntopology { kind = complete nodes = 4 }\nrouting { engine = x }\n").unwrap();
+        assert_eq!(c.network().channel_count(), 12);
+    }
+
+    #[test]
+    fn explicit_decls_assign_dense_ids_in_order() {
+        let b = topo(
+            "wormspec/1\n\
+             topology {\n\
+               kind = explicit\n\
+               node \"A\" node \"B\" node \"C\"\n\
+               channel \"A\" -> \"B\" label \"ab\"\n\
+               channel \"B\" -> \"C\" lane 1 cap 2 flits\n\
+               channel \"C\" -> \"A\"\n\
+             }\n\
+             routing { engine = table }\n",
+        )
+        .unwrap();
+        let net = b.network();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.channel_count(), 3);
+        assert_eq!(net.node_name(NodeId::from_index(0)), "A");
+        let c1 = net.channel(crate::ChannelId::from_index(1));
+        assert_eq!(c1.vc, 1);
+        assert_eq!(c1.capacity, 2);
+        assert_eq!(net.channel_by_label("ab").map(|c| c.index()), Some(0));
+    }
+
+    #[test]
+    fn foreign_keys_and_bad_ranges_are_conflicts() {
+        let e = topo("wormspec/1\ntopology { kind = ring nodes = 4 dims = [3] }\nrouting { engine = x }\n").unwrap_err();
+        assert_eq!(e.code, codes::CONFLICT);
+        let e = topo("wormspec/1\ntopology { kind = mesh dims = [3] node \"A\" }\nrouting { engine = x }\n").unwrap_err();
+        assert_eq!(e.code, codes::CONFLICT);
+        let e = topo("wormspec/1\ntopology { kind = mesh }\nrouting { engine = x }\n").unwrap_err();
+        assert_eq!(e.code, codes::MISSING);
+        let e = topo("wormspec/1\ntopology { kind = fattree k = 3 }\nrouting { engine = x }\n").unwrap_err();
+        assert_eq!(e.code, codes::RANGE);
+        let e = topo("wormspec/1\ntopology { kind = torus dims = [4, 4] vcs = 1 lanes }\nrouting { engine = x }\n").unwrap_err();
+        assert_eq!(e.code, codes::RANGE);
+    }
+
+    #[test]
+    fn explicit_errors_point_at_the_offending_name() {
+        let src = "wormspec/1\n\
+                   topology { kind = explicit node \"A\" node \"B\" channel \"A\" -> \"Z\" }\n\
+                   routing { engine = table }\n";
+        let e = topo(src).unwrap_err();
+        assert_eq!(e.code, codes::RESOLVE);
+        assert!(e.render(src, "t.wspec").contains("\"Z\""));
+        let e = topo("wormspec/1\ntopology { kind = explicit node \"A\" node \"A\" }\nrouting { engine = table }\n")
+            .unwrap_err();
+        assert_eq!(e.code, codes::CONFLICT);
+    }
+}

@@ -48,6 +48,7 @@ mod table;
 pub mod adaptive;
 pub mod algorithms;
 pub mod properties;
+pub mod spec;
 
 pub use compiled::{CompiledRouting, RoutingStep};
 pub use error::{FunctionConflict, RouteError};

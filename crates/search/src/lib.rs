@@ -82,6 +82,7 @@ mod verdict;
 
 pub mod adaptive;
 pub mod canon;
+pub mod spec;
 
 pub use canon::{
     CanonScratch, Canonicalizer, IdentityCanonicalizer, StatePermutation, SymmetryCanonicalizer,

@@ -1,0 +1,47 @@
+//! Resolve a `wormspec/1` verify section into a [`SearchConfig`].
+
+use wormspec::ast::Verify;
+use wormspec::diag::{codes, SpecError};
+
+use crate::SearchConfig;
+
+/// Resolve search budgets from the verify section (absent = defaults).
+pub fn config_from_spec(verify: Option<&Verify>) -> Result<SearchConfig, SpecError> {
+    let mut config = SearchConfig::default();
+    let Some(v) = verify else {
+        return Ok(config);
+    };
+    if let Some(b) = &v.stall_budget {
+        config.stall_budget = u32::try_from(b.value.value).map_err(|_| {
+            SpecError::new(codes::RANGE, "`stall_budget` must fit in 32 bits", b.span)
+        })?;
+    }
+    if let Some(m) = &v.max_states {
+        config.max_states = usize::try_from(m.value)
+            .map_err(|_| SpecError::new(codes::RANGE, "`max_states` out of range", m.span))?;
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormspec::parse;
+
+    #[test]
+    fn budgets_resolve_and_defaults_hold() {
+        let spec = parse(
+            "wormspec/1\n\
+             topology { kind = ring nodes = 4 }\n\
+             routing { engine = clockwise_ring }\n\
+             verify { stall_budget = 3 cycles max_states = 1000 }\n",
+        )
+        .unwrap();
+        let c = config_from_spec(spec.verify.as_ref()).unwrap();
+        assert_eq!(c.stall_budget, 3);
+        assert_eq!(c.max_states, 1000);
+        let d = config_from_spec(None).unwrap();
+        assert_eq!(d.stall_budget, SearchConfig::default().stall_budget);
+        assert_eq!(d.max_states, SearchConfig::default().max_states);
+    }
+}

@@ -1,0 +1,174 @@
+//! The `wormserve` command-line front end.
+//!
+//! ```text
+//! wormserve [OPTIONS] SPEC.wspec...     verify spec files
+//! wormserve --fuzz N [--seed S]         differential fuzz N seeds
+//!
+//! Options:
+//!   --cache DIR     content-addressed result cache directory
+//!   --workers N     worker threads (default 2)
+//!   --queue N       queue depth before submit blocks (default 64)
+//!   --trace         attach a wormtrace report per computed job
+//!   --hash-only     print each spec's canonical hash and exit
+//! ```
+//!
+//! Exit status is nonzero when any job fails to compile, or when any
+//! fuzz seed produces a lint/classifier/search contradiction.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wormserve::specgen::differential;
+use wormserve::{compile, Server, ServerConfig};
+
+struct Cli {
+    cache: Option<PathBuf>,
+    workers: usize,
+    queue: usize,
+    trace: bool,
+    hash_only: bool,
+    fuzz: Option<u64>,
+    seed: u64,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wormserve [--cache DIR] [--workers N] [--queue N] [--trace] [--hash-only] SPEC...\n\
+         \u{20}      wormserve --fuzz N [--seed S]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        cache: None,
+        workers: 2,
+        queue: 64,
+        trace: false,
+        hash_only: false,
+        fuzz: None,
+        seed: 0,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--cache" => cli.cache = Some(PathBuf::from(value("--cache"))),
+            "--workers" => cli.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => cli.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--trace" => cli.trace = true,
+            "--hash-only" => cli.hash_only = true,
+            "--fuzz" => cli.fuzz = Some(value("--fuzz").parse().unwrap_or_else(|_| usage())),
+            "--seed" => cli.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown option {arg}");
+                usage()
+            }
+            _ => cli.files.push(PathBuf::from(arg)),
+        }
+    }
+    cli
+}
+
+fn run_fuzz(count: u64, base_seed: u64) -> ExitCode {
+    let mut bad = 0u64;
+    for i in 0..count {
+        let seed = base_seed + i;
+        let report = differential(seed);
+        if report.failures.is_empty() {
+            println!(
+                "seed {seed}: ok (lint {:?}, classifier {:?}, search {:?})",
+                report.lint, report.classifier_free, report.search
+            );
+        } else {
+            bad += 1;
+            eprintln!("seed {seed}: DISAGREEMENT");
+            for f in &report.failures {
+                eprintln!("  {f}");
+            }
+            eprintln!("--- generated spec ---\n{}", report.source);
+        }
+    }
+    if bad == 0 {
+        println!("{count} seeds, all consistent");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{bad}/{count} seeds disagreed");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    if let Some(count) = cli.fuzz {
+        return run_fuzz(count, cli.seed);
+    }
+    if cli.files.is_empty() {
+        usage();
+    }
+
+    let mut sources = Vec::new();
+    let mut failed = false;
+    for path in &cli.files {
+        match std::fs::read_to_string(path) {
+            Ok(source) => sources.push((path.display().to_string(), source)),
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+
+    if cli.hash_only {
+        for (name, source) in &sources {
+            match compile(source) {
+                Ok(job) => println!("{}  {name}", job.hash),
+                Err(e) => {
+                    eprintln!("{}", e.render(source, name));
+                    failed = true;
+                }
+            }
+        }
+        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
+    let server = Server::start(ServerConfig {
+        workers: cli.workers,
+        queue_depth: cli.queue,
+        cache_dir: cli.cache,
+        attach_traces: cli.trace,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("failed to start server: {e}");
+        std::process::exit(1)
+    });
+    for (name, source) in sources {
+        server.submit(name, source);
+    }
+    for result in server.shutdown() {
+        match &result.verdict {
+            Ok(verdict) => {
+                let origin = if result.cached { "cache" } else { "computed" };
+                println!("{} [{origin}] {verdict}", result.name);
+                if let Some(trace) = &result.trace {
+                    println!("{} [trace] {trace}", result.name);
+                }
+            }
+            Err(rendered) => {
+                eprintln!("{rendered}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,104 @@
+//! The content-addressed on-disk result cache.
+//!
+//! One file per canonical spec: `<dir>/<hash>.json`, where `<hash>` is
+//! the 16-hex-digit `wormspec` content hash and the payload is the
+//! `wormserve/1` verdict document byte-for-byte. Because the hash is
+//! taken over the *canonical* text, any surface rewrite of a spec —
+//! whitespace, comments, key order, spelled-out defaults — hits the
+//! same entry, and because the verdict document is deterministic, a hit
+//! can be replayed without rerunning any engine and without byte drift.
+//!
+//! Stores write to a `.tmp` sibling and rename into place, so a crash
+//! mid-write can leave a stray temp file but never a torn entry.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory of verdict documents keyed by canonical spec hash.
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The directory backing this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for a canonical hash.
+    pub fn entry_path(&self, hash: &str) -> PathBuf {
+        self.dir.join(format!("{hash}.json"))
+    }
+
+    /// The stored verdict for `hash`, if present.
+    pub fn lookup(&self, hash: &str) -> Option<String> {
+        fs::read_to_string(self.entry_path(hash)).ok()
+    }
+
+    /// Store `verdict` under `hash` atomically (write-temp + rename).
+    pub fn store(&self, hash: &str, verdict: &str) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{hash}.json.tmp"));
+        fs::write(&tmp, verdict)?;
+        fs::rename(&tmp, self.entry_path(hash))
+    }
+
+    /// Entry count (for monitoring and tests).
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| {
+                        e.path().extension().and_then(|x| x.to_str()) == Some("json")
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wormserve-cache-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_lookup_replays_the_exact_bytes() {
+        let cache = ResultCache::open(tmpdir("roundtrip")).unwrap();
+        assert!(cache.lookup("00112233aabbccdd").is_none());
+        let verdict = "{\"schema\":\"wormserve/1\"}";
+        cache.store("00112233aabbccdd", verdict).unwrap();
+        assert_eq!(cache.lookup("00112233aabbccdd").as_deref(), Some(verdict));
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn entries_are_isolated_by_hash() {
+        let cache = ResultCache::open(tmpdir("isolated")).unwrap();
+        cache.store("aaaaaaaaaaaaaaaa", "A").unwrap();
+        cache.store("bbbbbbbbbbbbbbbb", "B").unwrap();
+        assert_eq!(cache.lookup("aaaaaaaaaaaaaaaa").as_deref(), Some("A"));
+        assert_eq!(cache.lookup("bbbbbbbbbbbbbbbb").as_deref(), Some("B"));
+        assert_eq!(cache.len(), 2);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,180 @@
+//! A bounded multi-producer multi-consumer job queue.
+//!
+//! `Mutex` + two `Condvar`s — the textbook bounded buffer, kept
+//! dependency-free on purpose. Producers block in [`JobQueue::push`]
+//! while the queue is at capacity (backpressure, not unbounded memory);
+//! consumers block in [`JobQueue::pop`] while it is empty. Closing the
+//! queue wakes everyone: pending pushes fail, pops drain whatever is
+//! left and then return `None` — which is exactly the graceful-shutdown
+//! contract the server's worker pool needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking FIFO shared by reference between producers and
+/// consumers (wrap it in an `Arc`).
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `item`, blocking while the queue is full.
+    ///
+    /// Returns `Err(item)` if the queue is (or becomes, while waiting)
+    /// closed, handing the rejected job back to the caller.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is empty.
+    ///
+    /// Returns `None` only when the queue is closed **and** drained, so
+    /// a worker loop of `while let Some(job) = queue.pop()` finishes
+    /// every accepted job before exiting.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: future pushes fail, pops drain then end.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently waiting (racy by nature; for monitoring).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_within_a_single_producer() {
+        let q = JobQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn close_drains_in_flight_items_then_stops() {
+        let q = Arc::new(JobQueue::new(4));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.push(3), Err(3));
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        let q = Arc::new(JobQueue::new(1));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer is blocked on the full queue until we pop.
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        let q = Arc::new(JobQueue::new(4));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..25 {
+                        q.push(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<i32> = (0..4).flat_map(|p| (0..25).map(move |i| p * 100 + i)).collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

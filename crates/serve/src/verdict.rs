@@ -1,0 +1,357 @@
+//! Render a [`CompiledJob`]'s verification results as a `wormserve/1`
+//! verdict document.
+//!
+//! The document is the cache payload, so it is **deterministic by
+//! construction**: every object's keys are emitted in sorted order,
+//! every engine that runs is seeded by the spec itself, and nothing
+//! environment-dependent — wall-clock timings, throughput metrics, the
+//! submitting job's name — is allowed in. Re-verifying the same
+//! canonical spec must reproduce the same bytes; `tests/serve_cache.rs`
+//! holds that contract.
+//!
+//! Which blocks appear is decided by `verify { engine = ... }`:
+//!
+//! | engine   | `lint` | `classifier` | `search` | `sim` |
+//! |----------|--------|--------------|----------|-------|
+//! | `static` | ✓      | ✓            |          |       |
+//! | `search` | ✓      | ✓            | ✓        |       |
+//! | `sim`    | ✓      | ✓            |          | ✓     |
+//! | `full`   | ✓      | ✓            | ✓        | ✓     |
+//!
+//! plus a `faults` block whenever the spec has a `faults` section.
+//! `search` and `sim` need messages to run over; with an empty
+//! resolved traffic list they degrade to `{"skipped":"no messages"}`.
+
+use worm_core::classify::{classify_algorithm, AlgorithmVerdict};
+use wormfault::{reverify, FaultOutcome, FaultRunner, RetryPolicy};
+use wormlint::{LintReport, Registry};
+use wormsearch::{explore, Verdict as SearchVerdict};
+use wormsim::runner::{ArbitrationPolicy, Outcome, Runner};
+use wormsim::Sim;
+use wormspec::ast::VerifyEngine;
+
+use crate::compile::CompiledJob;
+
+/// The schema identifier stamped into every verdict document.
+pub const SCHEMA: &str = "wormserve/1";
+
+/// Escape a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an object from pre-rendered `(key, value)` fields, checking
+/// the sorted-keys invariant the schema promises.
+fn obj(fields: &[(&str, String)]) -> String {
+    debug_assert!(
+        fields.windows(2).all(|w| w[0].0 < w[1].0),
+        "wormserve/1 object keys must be sorted: {:?}",
+        fields.iter().map(|f| f.0).collect::<Vec<_>>()
+    );
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn arr(items: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Stable name for an algorithm-level classifier verdict.
+pub fn classifier_name(v: &AlgorithmVerdict) -> &'static str {
+    match v {
+        AlgorithmVerdict::DeadlockFreeAcyclic { .. } => "deadlock-free-acyclic",
+        AlgorithmVerdict::DeadlockFreeWithCycles { .. } => "deadlock-free-with-cycles",
+        AlgorithmVerdict::Deadlockable { .. } => "deadlockable",
+        AlgorithmVerdict::Unknown { .. } => "unknown",
+    }
+}
+
+fn classifier_cycle_count(v: &AlgorithmVerdict) -> usize {
+    match v {
+        AlgorithmVerdict::DeadlockFreeAcyclic { .. } => 0,
+        AlgorithmVerdict::DeadlockFreeWithCycles { cycles }
+        | AlgorithmVerdict::Deadlockable { cycles }
+        | AlgorithmVerdict::Unknown { cycles } => cycles.len(),
+    }
+}
+
+fn lint_block(report: &LintReport) -> String {
+    let counts: Vec<(&str, String)> = report
+        .counts_by_code()
+        .into_iter()
+        .map(|(code, n)| (code, n.to_string()))
+        .collect();
+    obj(&[
+        ("allow", report.allow_count().to_string()),
+        ("counts", obj(&counts)),
+        ("deny", report.deny_count().to_string()),
+        ("verdict", format!("\"{}\"", report.verdict.name())),
+        ("warn", report.warn_count().to_string()),
+    ])
+}
+
+fn classifier_block(verdict: &AlgorithmVerdict) -> String {
+    let free = match verdict.is_deadlock_free() {
+        Some(true) => "true",
+        Some(false) => "false",
+        None => "null",
+    };
+    obj(&[
+        ("cycles", classifier_cycle_count(verdict).to_string()),
+        ("is_deadlock_free", free.to_string()),
+        ("verdict", format!("\"{}\"", classifier_name(verdict))),
+    ])
+}
+
+fn skipped(reason: &str) -> String {
+    obj(&[("skipped", format!("\"{}\"", esc(reason)))])
+}
+
+/// The exhaustive search enumerates subsets of injectable and
+/// stallable messages per state, so it is only meaningful (and only
+/// tractable) on small scenarios; beyond this many messages the
+/// `search` block reports itself skipped instead of blowing up.
+pub const MAX_SEARCH_MESSAGES: usize = 10;
+
+fn search_block(job: &CompiledJob) -> String {
+    if job.messages.is_empty() {
+        return skipped("no messages");
+    }
+    if job.messages.len() > MAX_SEARCH_MESSAGES {
+        return skipped(&format!(
+            "{} messages exceed the search bound of {MAX_SEARCH_MESSAGES}",
+            job.messages.len()
+        ));
+    }
+    let sim = match Sim::new(job.network(), &job.table, job.messages.clone(), job.capacity) {
+        Ok(sim) => sim,
+        Err(e) => return obj(&[("error", format!("\"{}\"", esc(&e.to_string())))]),
+    };
+    let result = explore(&sim, &job.search_config);
+    let verdict = match result.verdict {
+        SearchVerdict::DeadlockReachable(_) => "deadlock-reachable",
+        SearchVerdict::DeadlockFree => "deadlock-free",
+        SearchVerdict::Inconclusive { .. } => "inconclusive",
+    };
+    obj(&[
+        ("states", result.states_explored.to_string()),
+        ("verdict", format!("\"{verdict}\"")),
+    ])
+}
+
+fn sim_block(job: &CompiledJob) -> String {
+    if job.messages.is_empty() {
+        return skipped("no messages");
+    }
+    let sim = match Sim::new(job.network(), &job.table, job.messages.clone(), job.capacity) {
+        Ok(sim) => sim,
+        Err(e) => return obj(&[("error", format!("\"{}\"", esc(&e.to_string())))]),
+    };
+    if job.plan.len() == 0 {
+        let outcome = Runner::new(&sim, ArbitrationPolicy::LowestId)
+            .with_skew(job.skew.clone())
+            .run(job.horizon);
+        match outcome {
+            Outcome::Delivered { cycles } => obj(&[
+                ("cycles", cycles.to_string()),
+                ("outcome", "\"delivered\"".into()),
+            ]),
+            Outcome::Deadlock { members, at_cycle } => obj(&[
+                ("cycles", at_cycle.to_string()),
+                (
+                    "members",
+                    arr(members.iter().map(|m| m.index().to_string())),
+                ),
+                ("outcome", "\"deadlock\"".into()),
+            ]),
+            Outcome::Timeout { cycles } => obj(&[
+                ("cycles", cycles.to_string()),
+                ("outcome", "\"timeout\"".into()),
+            ]),
+        }
+    } else {
+        // A fault plan switches to the fault-aware runner; clock skew
+        // and fault injection compose through separate seams, so the
+        // faulted path runs without the skew model.
+        let mut runner = FaultRunner::new(
+            job.network(),
+            &sim,
+            ArbitrationPolicy::LowestId,
+            job.plan.clone(),
+            RetryPolicy::Passive,
+        );
+        match runner.run(job.horizon) {
+            FaultOutcome::Delivered { cycles } => obj(&[
+                ("cycles", cycles.to_string()),
+                ("outcome", "\"delivered\"".into()),
+            ]),
+            FaultOutcome::DeliveredPartial { cycles, abandoned } => obj(&[
+                (
+                    "abandoned",
+                    arr(abandoned.iter().map(|m| m.index().to_string())),
+                ),
+                ("cycles", cycles.to_string()),
+                ("outcome", "\"delivered-partial\"".into()),
+            ]),
+            FaultOutcome::Deadlock { members, at_cycle } => obj(&[
+                ("cycles", at_cycle.to_string()),
+                (
+                    "members",
+                    arr(members.iter().map(|m| m.index().to_string())),
+                ),
+                ("outcome", "\"deadlock\"".into()),
+            ]),
+            FaultOutcome::Timeout { cycles } => obj(&[
+                ("cycles", cycles.to_string()),
+                ("outcome", "\"timeout\"".into()),
+            ]),
+        }
+    }
+}
+
+fn faults_block(job: &CompiledJob) -> String {
+    let report = reverify(
+        job.network(),
+        &job.table,
+        &job.plan,
+        &job.classify_options,
+    );
+    obj(&[
+        (
+            "baseline",
+            format!("\"{}\"", classifier_name(&report.baseline)),
+        ),
+        (
+            "degraded",
+            format!("\"{}\"", classifier_name(&report.degraded.verdict)),
+        ),
+        ("survives", report.verdict_survives.to_string()),
+        (
+            "unroutable_pairs",
+            report.degraded.unroutable_pairs.to_string(),
+        ),
+    ])
+}
+
+/// Run the verdict engines selected by the spec and render the
+/// `wormserve/1` document.
+///
+/// The output is a single line of JSON with sorted keys and **no
+/// timings and no job name** — it depends only on the canonical spec,
+/// which is what makes byte-identical cache replay sound.
+pub fn verdict_json(job: &CompiledJob) -> String {
+    let registry = Registry::with_default_lints();
+    let lint_report = registry.run(job.network(), &job.table, &job.lint_config);
+    let classifier = classify_algorithm(job.network(), &job.table, &job.classify_options);
+
+    let mut fields: Vec<(&str, String)> = vec![
+        ("classifier", classifier_block(&classifier)),
+        (
+            "engine",
+            format!("\"{}\"", engine_name(job.engine)),
+        ),
+    ];
+    if job.spec.faults.is_some() {
+        fields.push(("faults", faults_block(job)));
+    }
+    fields.push(("lint", lint_block(&lint_report)));
+    fields.push(("schema", format!("\"{SCHEMA}\"")));
+    if matches!(job.engine, VerifyEngine::Search | VerifyEngine::Full) {
+        fields.push(("search", search_block(job)));
+    }
+    if matches!(job.engine, VerifyEngine::Sim | VerifyEngine::Full) {
+        fields.push(("sim", sim_block(job)));
+    }
+    fields.push(("spec_hash", format!("\"{}\"", job.hash)));
+    obj(&fields)
+}
+
+/// Stable name for the verify engine selection.
+pub fn engine_name(engine: VerifyEngine) -> &'static str {
+    match engine {
+        VerifyEngine::Static => "static",
+        VerifyEngine::Search => "search",
+        VerifyEngine::Sim => "sim",
+        VerifyEngine::Full => "full",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+
+    #[test]
+    fn static_verdicts_carry_lint_and_classifier() {
+        let job = compile(
+            "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n",
+        )
+        .unwrap();
+        let v = verdict_json(&job);
+        assert!(v.contains("\"schema\":\"wormserve/1\""), "{v}");
+        assert!(v.contains("\"verdict\":\"deadlockable\""), "{v}");
+        assert!(v.contains(&format!("\"spec_hash\":\"{}\"", job.hash)), "{v}");
+        assert!(!v.contains("search"), "{v}");
+        assert!(!v.contains("\"sim\""), "{v}");
+    }
+
+    #[test]
+    fn full_engine_adds_search_sim_and_fault_blocks() {
+        let job = compile(
+            "wormspec/1\n\
+             topology { kind = ring nodes = 4 }\n\
+             routing { engine = clockwise_ring }\n\
+             traffic {\n\
+               pattern = explicit\n\
+               message \"r0\" -> \"r2\" length 2 flits\n\
+               message \"r2\" -> \"r0\" length 2 flits\n\
+             }\n\
+             faults { down c0 @ 100 cycles }\n\
+             verify { engine = full horizon = 200 cycles }\n",
+        )
+        .unwrap();
+        let v = verdict_json(&job);
+        assert!(v.contains("\"search\":{"), "{v}");
+        assert!(v.contains("\"sim\":{"), "{v}");
+        assert!(v.contains("\"faults\":{"), "{v}");
+        assert!(v.contains("\"engine\":\"full\""), "{v}");
+    }
+
+    #[test]
+    fn verdicts_are_bit_identical_across_runs() {
+        let src = "wormspec/1\n\
+             topology { kind = mesh dims = [3, 3] }\n\
+             routing { engine = dimension_order }\n\
+             traffic { pattern = uniform rate = 0.2 horizon = 20 cycles seed = 7 }\n\
+             verify { engine = full max_states = 20000 }\n";
+        let a = verdict_json(&compile(src).unwrap());
+        let b = verdict_json(&compile(src).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn search_without_messages_is_skipped_not_invented() {
+        let job = compile(
+            "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\nverify { engine = search }\n",
+        )
+        .unwrap();
+        let v = verdict_json(&job);
+        assert!(v.contains("\"search\":{\"skipped\":\"no messages\"}"), "{v}");
+    }
+}

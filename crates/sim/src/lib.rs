@@ -67,6 +67,7 @@ pub mod hooks;
 pub mod packed;
 pub mod runner;
 pub mod skew;
+pub mod spec;
 pub mod stats;
 pub mod trace;
 pub mod traffic;

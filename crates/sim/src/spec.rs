@@ -1,0 +1,252 @@
+//! Resolve a `wormspec/1` traffic section into message specs and a
+//! clock-skew model.
+//!
+//! Patterns map onto [`crate::traffic`] generators; explicit `message`
+//! declarations are appended *after* the pattern's messages, in
+//! declaration order — which is what gives `mN` fault references their
+//! meaning (the index into the final list).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wormnet::spec::BuiltTopology;
+use wormroute::TableRouting;
+use wormspec::ast::{PatternKind, Traffic};
+use wormspec::diag::{codes, Span, SpecError};
+
+use crate::skew::SkewModel;
+use crate::{traffic, MessageSpec};
+
+fn err(code: &'static str, msg: impl Into<String>, span: Span) -> SpecError {
+    SpecError::new(code, msg, span)
+}
+
+fn require<'a, T>(slot: &'a Option<T>, key: &str, pattern: PatternKind, at: Span) -> Result<&'a T, SpecError> {
+    slot.as_ref().ok_or_else(|| {
+        err(
+            codes::MISSING,
+            format!("`pattern = {}` needs `{key} = ...`", pattern.keyword()),
+            at,
+        )
+    })
+}
+
+/// Resolve traffic into the final message list.
+///
+/// Pattern-generated messages come first, explicit `message`
+/// declarations after, so a spec's `mN` references are stable exactly
+/// when its pattern is deterministic — which all of them are, given
+/// the mandatory `seed` for `uniform`.
+pub fn messages_from_spec(
+    t: &Traffic,
+    topo: &BuiltTopology,
+    table: &TableRouting,
+) -> Result<Vec<MessageSpec>, SpecError> {
+    let net = topo.network();
+    let at = t.pattern.span;
+    let pattern = t.pattern.value;
+    let length = t.length.as_ref().map(|l| l.value.value as usize).unwrap_or(1);
+    let mut specs = match pattern {
+        PatternKind::Uniform => {
+            let rate = require(&t.rate, "rate", pattern, at)?;
+            let horizon = require(&t.horizon, "horizon", pattern, at)?;
+            let seed = require(&t.seed, "seed", pattern, at)?;
+            let rate_f = rate.value.to_f64();
+            if !(0.0..=1.0).contains(&rate_f) {
+                return Err(err(
+                    codes::RANGE,
+                    "`rate` must be a probability in [0, 1]",
+                    rate.span,
+                ));
+            }
+            let max_length = t
+                .max_length
+                .as_ref()
+                .map(|m| m.value.value as usize)
+                .unwrap_or(length);
+            if max_length < length {
+                return Err(err(
+                    codes::RANGE,
+                    "`max_length` must be at least `length`",
+                    t.max_length.as_ref().expect("checked").span,
+                ));
+            }
+            let mut rng = StdRng::seed_from_u64(seed.value);
+            traffic::uniform_random(
+                net,
+                table,
+                &mut rng,
+                rate_f,
+                horizon.value.value,
+                (length, max_length),
+            )
+        }
+        PatternKind::Transpose | PatternKind::BitComplement => {
+            let BuiltTopology::Mesh(mesh) = topo else {
+                return Err(err(
+                    codes::CONFLICT,
+                    format!(
+                        "`pattern = {}` needs `kind = mesh`, but the topology is `{}`",
+                        pattern.keyword(),
+                        topo.kind_keyword()
+                    ),
+                    at,
+                ));
+            };
+            if mesh.dims().len() != 2 {
+                return Err(err(
+                    codes::CONFLICT,
+                    format!("`pattern = {}` needs a 2-D mesh", pattern.keyword()),
+                    at,
+                ));
+            }
+            if pattern == PatternKind::Transpose {
+                if mesh.dims()[0] != mesh.dims()[1] {
+                    return Err(err(
+                        codes::CONFLICT,
+                        "`pattern = transpose` needs a square mesh",
+                        at,
+                    ));
+                }
+                traffic::transpose(mesh, length)
+            } else {
+                traffic::bit_complement(mesh, length)
+            }
+        }
+        PatternKind::Hotspot => {
+            let hot = require(&t.hotspot, "hotspot", pattern, at)?;
+            let node = net.node_by_name(&hot.value).ok_or_else(|| {
+                err(codes::RESOLVE, format!("unknown node \"{}\"", hot.value), hot.span)
+            })?;
+            traffic::hotspot(net, node, length)
+        }
+        PatternKind::Explicit => Vec::new(),
+    };
+    for m in &t.messages {
+        let src = net.node_by_name(&m.src.value).ok_or_else(|| {
+            err(codes::RESOLVE, format!("unknown node \"{}\"", m.src.value), m.src.span)
+        })?;
+        let dst = net.node_by_name(&m.dst.value).ok_or_else(|| {
+            err(codes::RESOLVE, format!("unknown node \"{}\"", m.dst.value), m.dst.span)
+        })?;
+        if src == dst {
+            return Err(err(
+                codes::CONFLICT,
+                "a message's source and destination must differ",
+                m.src.span.to(m.dst.span),
+            ));
+        }
+        let len = m.length.value.value as usize;
+        if len == 0 {
+            return Err(err(codes::RANGE, "message length must be at least 1 flit", m.length.span));
+        }
+        let mut spec = MessageSpec::new(src, dst, len);
+        if let Some(at_q) = &m.at {
+            spec = spec.at(at_q.value.value);
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// Resolve `pause` declarations into a [`SkewModel`].
+pub fn skew_from_spec(t: &Traffic, topo: &BuiltTopology) -> Result<SkewModel, SpecError> {
+    let net = topo.network();
+    let mut skew = SkewModel::none(net);
+    for p in &t.pauses {
+        let node = net.node_by_name(&p.node.value).ok_or_else(|| {
+            err(codes::RESOLVE, format!("unknown node \"{}\"", p.node.value), p.node.span)
+        })?;
+        if p.period.value.value < 2 {
+            return Err(err(
+                codes::RANGE,
+                "a pause period of 0 or 1 would freeze the router permanently",
+                p.period.span,
+            ));
+        }
+        skew = skew.with_pause(node, p.period.value.value, p.offset.value.value);
+    }
+    Ok(skew)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormnet::spec::build_topology;
+    use wormroute::spec::table_from_spec;
+    use wormspec::parse;
+
+    fn resolve(src: &str) -> Result<Vec<MessageSpec>, SpecError> {
+        let spec = parse(src).expect("spec parses");
+        let topo = build_topology(&spec.topology)?;
+        let table = table_from_spec(&spec.routing, &topo)?;
+        messages_from_spec(spec.traffic.as_ref().expect("traffic"), &topo, &table)
+    }
+
+    #[test]
+    fn explicit_messages_resolve_in_order() {
+        let specs = resolve(
+            "wormspec/1\n\
+             topology { kind = ring nodes = 4 }\n\
+             routing { engine = clockwise_ring }\n\
+             traffic {\n\
+               pattern = explicit\n\
+               message \"r0\" -> \"r2\" length 3 flits\n\
+               message \"r1\" -> \"r3\" length 2 flits at 5 cycles\n\
+             }\n",
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].length, 3);
+        assert_eq!(specs[1].inject_at, 5);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_by_seed() {
+        let src = "wormspec/1\n\
+             topology { kind = mesh dims = [3, 3] }\n\
+             routing { engine = dimension_order }\n\
+             traffic { pattern = uniform rate = 0.2 horizon = 20 cycles seed = 7 length = 2 flits }\n";
+        let a = resolve(src).unwrap();
+        let b = resolve(src).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| (x.src, x.dst, x.length, x.inject_at) == (y.src, y.dst, y.length, y.inject_at)));
+    }
+
+    #[test]
+    fn pattern_requirements_are_enforced() {
+        let e = resolve(
+            "wormspec/1\ntopology { kind = mesh dims = [3, 3] }\nrouting { engine = dimension_order }\ntraffic { pattern = uniform }\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.code, codes::MISSING);
+        let e = resolve(
+            "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\ntraffic { pattern = transpose }\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.code, codes::CONFLICT);
+        let e = resolve(
+            "wormspec/1\ntopology { kind = mesh dims = [3, 3] }\nrouting { engine = dimension_order }\ntraffic { pattern = hotspot hotspot = \"nope\" }\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.code, codes::RESOLVE);
+    }
+
+    #[test]
+    fn skew_pauses_resolve() {
+        let spec = parse(
+            "wormspec/1\n\
+             topology { kind = ring nodes = 4 }\n\
+             routing { engine = clockwise_ring }\n\
+             traffic { pattern = explicit pause \"r1\" period 4 cycles offset 1 cycles }\n",
+        )
+        .unwrap();
+        let topo = build_topology(&spec.topology).unwrap();
+        let skew = skew_from_spec(spec.traffic.as_ref().unwrap(), &topo).unwrap();
+        let node = topo.network().node_by_name("r1").unwrap();
+        assert!(skew.is_paused(node, 1));
+    }
+}

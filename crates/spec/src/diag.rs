@@ -1,0 +1,192 @@
+//! Diagnostics: byte spans, stable error codes, and rendered messages
+//! with line/column positions and a source snippet.
+//!
+//! Every error produced while lexing, parsing, or *resolving* a spec
+//! (the downstream crates' `from_spec` constructors reuse this type)
+//! carries a [`Span`] into the original source text and a stable
+//! `E`-code documented in `docs/SPEC.md`'s error catalog, so tooling
+//! can match on codes while humans read rendered snippets.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into the spec source text.
+///
+/// Spans are *positional metadata*, not semantics: two ASTs that
+/// differ only in spans compare equal (see [`crate::ast::Spanned`]),
+/// which is what makes the `parse(print(ast)) == ast` round-trip
+/// guarantee expressible at all.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: usize,
+    /// Byte offset one past the last character.
+    pub hi: usize,
+}
+
+impl Span {
+    /// A span covering `[lo, hi)`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        Span { lo, hi }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// A zero-width span (used by programmatically built ASTs, e.g.
+    /// the lifting of an existing network into an explicit spec).
+    pub fn dummy() -> Span {
+        Span::default()
+    }
+}
+
+/// Stable error codes for the `wormspec/1` error catalog
+/// (`docs/SPEC.md`). Codes never change meaning; new codes append.
+pub mod codes {
+    /// Unexpected character in the input.
+    pub const LEX: &str = "E001";
+    /// Unexpected token (expected something else).
+    pub const UNEXPECTED: &str = "E002";
+    /// Unsupported `wormspec/N` version.
+    pub const VERSION: &str = "E003";
+    /// Unknown section name.
+    pub const UNKNOWN_SECTION: &str = "E004";
+    /// Section appears twice.
+    pub const DUPLICATE_SECTION: &str = "E005";
+    /// Unknown key for the section.
+    pub const UNKNOWN_KEY: &str = "E006";
+    /// Key assigned twice.
+    pub const DUPLICATE_KEY: &str = "E007";
+    /// Wrong or missing unit on a quantity.
+    pub const UNIT: &str = "E008";
+    /// Enumerated value (kind, engine, severity, ...) not recognized.
+    pub const ENUM: &str = "E009";
+    /// Malformed reference (`cN` channel, `mN` message, `WNNN` code).
+    pub const REF: &str = "E010";
+    /// Numeric value out of range.
+    pub const RANGE: &str = "E011";
+    /// A required key or declaration is missing.
+    pub const MISSING: &str = "E012";
+    /// The spec is internally inconsistent (e.g. duplicate node name,
+    /// a key that contradicts the declared topology kind).
+    pub const CONFLICT: &str = "E013";
+    /// Resolution failure: the spec is well-formed but names an
+    /// entity the built scenario does not have (unknown node, channel
+    /// index past the end, unrouted pair, ...).
+    pub const RESOLVE: &str = "E014";
+}
+
+/// A spec error: stable code, human message, and source span.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct SpecError {
+    /// Stable `E`-code (see [`codes`]).
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Where in the source the error points.
+    pub span: Span,
+}
+
+impl SpecError {
+    /// Construct an error.
+    pub fn new(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        SpecError {
+            code,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// 1-based `(line, column)` of the span start within `source`.
+    pub fn position(&self, source: &str) -> (usize, usize) {
+        position_of(source, self.span.lo)
+    }
+
+    /// Render the error with position, message, and a caret snippet:
+    ///
+    /// ```text
+    /// spec.wspec:3:11: error[E009]: unknown topology kind `mersh`
+    ///    |
+    ///  3 |   kind = mersh
+    ///    |          ^^^^^
+    /// ```
+    pub fn render(&self, source: &str, origin: &str) -> String {
+        let (line, col) = self.position(source);
+        let mut out = format!(
+            "{origin}:{line}:{col}: error[{}]: {}\n",
+            self.code, self.message
+        );
+        if let Some(text) = source.lines().nth(line.saturating_sub(1)) {
+            let gutter = line.to_string();
+            let pad = " ".repeat(gutter.len());
+            out.push_str(&format!("{pad} |\n{gutter} | {text}\n"));
+            let width = source[self.span.lo..self.span.hi.min(source.len())]
+                .chars()
+                .count()
+                .max(1);
+            out.push_str(&format!(
+                "{pad} | {}{}\n",
+                " ".repeat(col.saturating_sub(1)),
+                "^".repeat(width.min(text.chars().count().saturating_sub(col - 1).max(1)))
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}]: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// 1-based `(line, column)` of byte offset `at` within `source`
+/// (column counts characters, not bytes).
+pub fn position_of(source: &str, at: usize) -> (usize, usize) {
+    let at = at.min(source.len());
+    let mut line = 1;
+    let mut line_start = 0;
+    for (i, b) in source.bytes().enumerate().take(at) {
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    let col = source[line_start..at].chars().count() + 1;
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(position_of(src, 0), (1, 1));
+        assert_eq!(position_of(src, 2), (1, 3));
+        assert_eq!(position_of(src, 4), (2, 1));
+        assert_eq!(position_of(src, 9), (3, 2));
+    }
+
+    #[test]
+    fn render_contains_snippet_and_caret() {
+        let src = "topology {\n  kind = mersh\n}\n";
+        let err = SpecError::new(codes::ENUM, "unknown topology kind `mersh`", Span::new(20, 25));
+        let rendered = err.render(src, "spec.wspec");
+        assert!(rendered.contains("spec.wspec:2:10: error[E009]"), "{rendered}");
+        assert!(rendered.contains("kind = mersh"), "{rendered}");
+        assert!(rendered.contains("^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn spans_join() {
+        assert_eq!(Span::new(3, 5).to(Span::new(9, 12)), Span::new(3, 12));
+    }
+}

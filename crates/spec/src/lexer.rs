@@ -1,0 +1,352 @@
+//! Hand-rolled lexer for `wormspec/1`.
+//!
+//! Produces a flat token stream with byte spans. Comments (`#` to end
+//! of line) and whitespace are skipped — they can never influence the
+//! AST, which is what makes the canonical content hash stable across
+//! reformatting.
+
+use crate::diag::{codes, Span, SpecError};
+
+/// A token kind plus its payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Bare word: keywords, section names, engine names, references
+    /// (`c3`, `m0`, `W101`), unit keywords.
+    Ident(String),
+    /// Quoted string with escapes resolved.
+    Str(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Decimal literal (normalized text, e.g. `0.05`).
+    Decimal(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `@`
+    At,
+    /// `..`
+    DotDot,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Human description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Str(s) => format!("string {s:?}"),
+            Tok::Int(n) => format!("`{n}`"),
+            Tok::Decimal(d) => format!("`{d}`"),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Arrow => "`->`".into(),
+            Tok::At => "`@`".into(),
+            Tok::DotDot => "`..`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub tok: Tok,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lex a whole source text into tokens (ending with [`Tok::Eof`]).
+pub fn lex(source: &str) -> Result<Vec<Token>, SpecError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Skip whitespace and comments.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let lo = i;
+        let tok = match c {
+            '{' => {
+                i += 1;
+                Tok::LBrace
+            }
+            '}' => {
+                i += 1;
+                Tok::RBrace
+            }
+            '[' => {
+                i += 1;
+                Tok::LBracket
+            }
+            ']' => {
+                i += 1;
+                Tok::RBracket
+            }
+            '(' => {
+                i += 1;
+                Tok::LParen
+            }
+            ')' => {
+                i += 1;
+                Tok::RParen
+            }
+            '=' => {
+                i += 1;
+                Tok::Eq
+            }
+            ',' => {
+                i += 1;
+                Tok::Comma
+            }
+            '@' => {
+                i += 1;
+                Tok::At
+            }
+            '/' => {
+                i += 1;
+                Tok::Slash
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    Tok::Arrow
+                } else {
+                    return Err(SpecError::new(
+                        codes::LEX,
+                        "stray `-` (did you mean `->`?)",
+                        Span::new(lo, lo + 1),
+                    ));
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    i += 2;
+                    Tok::DotDot
+                } else {
+                    return Err(SpecError::new(
+                        codes::LEX,
+                        "stray `.` (ranges are written `a..b`)",
+                        Span::new(lo, lo + 1),
+                    ));
+                }
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(SpecError::new(
+                                codes::LEX,
+                                "unterminated string literal",
+                                Span::new(lo, i),
+                            ));
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes.get(i + 1).copied();
+                            match esc {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                _ => {
+                                    return Err(SpecError::new(
+                                        codes::LEX,
+                                        "unknown string escape (supported: \\\" \\\\ \\n \\t)",
+                                        Span::new(i, i + 2),
+                                    ));
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 character.
+                            let ch = source[i..].chars().next().expect("in-bounds char");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A decimal point followed by digits makes a Decimal —
+                // but `..` is a range, not a fraction.
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &source[lo..i];
+                    Tok::Decimal(normalize_decimal(text))
+                } else {
+                    let text = &source[lo..i];
+                    match text.parse::<u64>() {
+                        Ok(n) => Tok::Int(n),
+                        Err(_) => {
+                            return Err(SpecError::new(
+                                codes::RANGE,
+                                format!("integer literal `{text}` exceeds 64 bits"),
+                                Span::new(lo, i),
+                            ));
+                        }
+                    }
+                }
+            }
+            c if is_ident_start(c) => {
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                Tok::Ident(source[lo..i].to_string())
+            }
+            other => {
+                return Err(SpecError::new(
+                    codes::LEX,
+                    format!("unexpected character `{other}`"),
+                    Span::new(lo, lo + other.len_utf8()),
+                ));
+            }
+        };
+        out.push(Token {
+            tok,
+            span: Span::new(lo, i),
+        });
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(source.len(), source.len()),
+    });
+    Ok(out)
+}
+
+/// Normalize a decimal numeral: strip leading zeros of the integer
+/// part (keeping one) and trailing zeros of the fraction (dropping the
+/// point if the fraction empties).
+fn normalize_decimal(text: &str) -> String {
+    let (int, frac) = text.split_once('.').expect("decimal has a point");
+    let int = int.trim_start_matches('0');
+    let int = if int.is_empty() { "0" } else { int };
+    let frac = frac.trim_end_matches('0');
+    if frac.is_empty() {
+        int.to_string()
+    } else {
+        format!("{int}.{frac}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_structure_tokens() {
+        assert_eq!(
+            kinds("a { b = [1, 2] } # comment"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::LBrace,
+                Tok::Ident("b".into()),
+                Tok::Eq,
+                Tok::LBracket,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Int(2),
+                Tok::RBracket,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrows_ranges_and_decimals() {
+        assert_eq!(
+            kinds("\"A\" -> \"B\" 3..7 0.50"),
+            vec![
+                Tok::Str("A".into()),
+                Tok::Arrow,
+                Tok::Str("B".into()),
+                Tok::Int(3),
+                Tok::DotDot,
+                Tok::Int(7),
+                Tok::Decimal("0.5".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_resolve() {
+        assert_eq!(kinds(r#""N\"*\\""#), vec![Tok::Str("N\"*\\".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_is_a_lex_error() {
+        let err = lex("\"abc").unwrap_err();
+        assert_eq!(err.code, codes::LEX);
+    }
+
+    #[test]
+    fn spans_point_at_the_token() {
+        let toks = lex("ab 12").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

@@ -15,6 +15,8 @@
 //! | observability | [`trace`] (`wormtrace`) | zero-dependency counters / gauges / spans behind a global [`trace::Recorder`]; JSON trace reports (`docs/TRACING.md`) |
 //! | resilience | [`fault`] (`wormfault`) | deterministic fault plans (channel outages, router stalls, flit drops, injection jitter) applied through the engine's decision hook, retry/backoff policies, degraded-topology re-verification (`docs/FAULTS.md`) |
 //! | diagnostics | [`lint`] (`wormlint`) | static analysis over routing specs: structural/routing/theorem lints with stable `W`-codes, severities, witness-carrying diagnostics, deterministic `wormlint/1` JSON reports (`docs/LINTS.md`) |
+//! | specification | [`spec`] (`wormspec`) | the `wormspec/1` scenario language: lexer, recursive-descent parser, typed spanned AST, caret diagnostics with stable `E`-codes, canonical printer and FNV-1a content hash (`docs/SPEC.md`) |
+//! | service | [`serve`] (`wormserve`) | batch verification over specs: bounded job queue + worker pool, content-addressed verdict cache, deterministic `wormserve/1` JSON, spec lifting, differential fuzzing (`docs/SERVICE.md`) |
 //!
 //! Extensions beyond the paper's base model, each validated in
 //! `EXPERIMENTS.md`: per-router clock skew (`sim::skew`), adaptive
@@ -119,5 +121,7 @@ pub use wormlint as lint;
 pub use wormnet as net;
 pub use wormroute as route;
 pub use wormsearch as search;
+pub use wormserve as serve;
 pub use wormsim as sim;
+pub use wormspec as spec;
 pub use wormtrace as trace;

@@ -1,0 +1,193 @@
+//! The PR's acceptance contract, end to end: the committed Figure 1
+//! spec round-trips through the language, verifies through `wormserve`
+//! to the same classifier verdict as the hard-coded Rust construction,
+//! and a whitespace/comment-perturbed resubmission is served from the
+//! cache **bit-identically**.
+//!
+//! Also pins the `wormserve/1` document's structural promises: sorted
+//! keys at every object level and no environment-dependent fields.
+
+use std::path::PathBuf;
+
+use cyclic_wormhole::core::classify::{classify_algorithm, ClassifyOptions};
+use cyclic_wormhole::core::paper::fig1;
+use cyclic_wormhole::serve::verdict::classifier_name;
+use cyclic_wormhole::serve::{compile, verdict_json, Server, ServerConfig};
+
+fn fig1_source() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus/fig1.wspec");
+    std::fs::read_to_string(path).expect("committed fig1 spec")
+}
+
+/// A meaning-preserving rewrite: comments, blank lines, trailing
+/// whitespace.
+fn perturbed(source: &str) -> String {
+    let mut out = String::from("# resubmitted with different surface syntax\n");
+    for (i, line) in source.lines().enumerate() {
+        out.push_str(line);
+        if i % 3 == 0 {
+            out.push_str("   ");
+        }
+        out.push('\n');
+        if i % 5 == 0 {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wormserve-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Walk a `wormserve/1` document checking every object's keys appear
+/// in strictly sorted order. A tiny brace-depth scanner is enough
+/// because the writer never emits `{`/`}`/`"` inside values except in
+/// (escape-free) verdict names and skip reasons.
+fn assert_sorted_keys(json: &str) {
+    let mut stack: Vec<Option<String>> = Vec::new();
+    let mut chars = json.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' => stack.push(None),
+            '}' => {
+                stack.pop();
+            }
+            '"' => {
+                let mut s = String::new();
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                // A key is a string immediately followed by ':'.
+                if chars.peek() == Some(&':') {
+                    let last = stack.last_mut().expect("key outside object");
+                    if let Some(prev) = last {
+                        assert!(
+                            prev.as_str() < s.as_str(),
+                            "keys out of order: {prev:?} then {s:?} in {json}"
+                        );
+                    }
+                    *last = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(stack.is_empty(), "unbalanced braces in {json}");
+}
+
+#[test]
+fn fig1_spec_round_trips() {
+    let source = fig1_source();
+    let ast = wormspec::parse(&source).expect("fig1 parses");
+    let printed = wormspec::to_spec(&ast);
+    assert_eq!(wormspec::parse(&printed).expect("canonical parses"), ast);
+}
+
+#[test]
+fn fig1_verdict_matches_the_hard_coded_pipeline() {
+    let job = compile(&fig1_source()).expect("fig1 compiles");
+    let served = verdict_json(&job);
+    assert_sorted_keys(&served);
+
+    // The hard-coded Rust construction, classified under the *same*
+    // options the spec resolves to (fig1.wspec has no verify section,
+    // so: static only, no search fallback).
+    let c = fig1::cyclic_dependency();
+    let direct = classify_algorithm(&c.net, &c.table, &job.classify_options);
+    let expected = format!("\"verdict\":\"{}\"", classifier_name(&direct));
+    assert!(
+        served.contains(&expected),
+        "served {served} vs direct {expected}"
+    );
+    assert!(!served.contains("elapsed"), "no timings allowed: {served}");
+    assert!(!served.contains("fig1"), "no job name allowed: {served}");
+
+    // With the search fallback enabled the spec path must land on the
+    // paper's phenomenon — deadlock freedom *with* cyclic dependencies
+    // — exactly like the default-options Rust pipeline.
+    let searched_src = format!("{}verify {{ engine = search }}\n", fig1_source());
+    let searched = compile(&searched_src).expect("fig1+search compiles");
+    let spec_verdict =
+        classify_algorithm(searched.network(), &searched.table, &searched.classify_options);
+    let rust_verdict = classify_algorithm(&c.net, &c.table, &ClassifyOptions::default());
+    assert_eq!(
+        classifier_name(&spec_verdict),
+        classifier_name(&rust_verdict),
+        "spec-driven and hard-coded pipelines disagree under search"
+    );
+    assert_eq!(classifier_name(&spec_verdict), "deadlock-free-with-cycles");
+}
+
+#[test]
+fn perturbed_resubmission_hits_the_cache_bit_identically() {
+    let dir = tmpdir("acceptance");
+    let source = fig1_source();
+
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_depth: 8,
+        cache_dir: Some(dir.clone()),
+        attach_traces: false,
+    })
+    .unwrap();
+    assert!(server.submit("fig1", source.clone()));
+    let first = server.shutdown();
+    assert!(!first[0].cached, "first submission must compute");
+    let first_verdict = first[0].verdict.as_ref().unwrap().clone();
+    let first_hash = first[0].hash.clone().unwrap();
+
+    // Resubmit with a different surface syntax: same canonical hash,
+    // so the verdict replays from disk byte-for-byte.
+    let rewritten = perturbed(&source);
+    assert_ne!(rewritten, source);
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 8,
+        cache_dir: Some(dir.clone()),
+        attach_traces: false,
+    })
+    .unwrap();
+    assert!(server.submit("fig1-rewrite", rewritten));
+    let second = server.shutdown();
+    assert!(second[0].cached, "perturbed resubmission must hit the cache");
+    assert_eq!(second[0].hash.as_deref(), Some(first_hash.as_str()));
+    assert_eq!(
+        second[0].verdict.as_ref().unwrap(),
+        &first_verdict,
+        "cache replay must be bit-identical"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn verdicts_stay_sorted_across_engine_selections() {
+    for verify in [
+        "",
+        "verify { engine = search }\n",
+        "verify { engine = sim horizon = 100 cycles }\n",
+        "verify { engine = full horizon = 100 cycles }\n",
+    ] {
+        let source = format!(
+            "wormspec/1\n\
+             topology {{ kind = ring nodes = 4 }}\n\
+             routing {{ engine = clockwise_ring }}\n\
+             traffic {{\n\
+               pattern = explicit\n\
+               message \"r0\" -> \"r2\" length 2 flits\n\
+               message \"r2\" -> \"r0\" length 2 flits\n\
+             }}\n\
+             faults {{ down c1 @ 50 cycles }}\n\
+             {verify}"
+        );
+        let job = compile(&source).expect("spec compiles");
+        let served = verdict_json(&job);
+        assert_sorted_keys(&served);
+        assert!(served.contains("\"schema\":\"wormserve/1\""));
+    }
+}

@@ -1,0 +1,118 @@
+//! Round-trip and canonicalization properties of `wormspec/1`.
+//!
+//! The spec language makes two guarantees this suite pins:
+//!
+//! 1. **`parse(print(ast)) == ast`** — the canonical printer loses
+//!    nothing the AST keeps, and printing is idempotent (the canonical
+//!    form is a fixed point).
+//! 2. **Hash stability** — the content hash is taken over the
+//!    canonical text, so comments, whitespace, key order, and
+//!    spelled-out defaults never change it; different scenarios do.
+//!
+//! Random specs come from `wormserve::specgen` (seeded, deterministic)
+//! so the properties range over every topology family and section the
+//! generator can emit.
+
+use cyclic_wormhole::serve::specgen::generate;
+use proptest::prelude::*;
+
+/// Deterministically sprinkle comments, blank lines, and trailing
+/// whitespace over a source without touching its meaning.
+fn perturb(source: &str, seed: u64) -> String {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64: cheap, deterministic, good enough to vary sites.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut out = String::new();
+    for line in source.lines() {
+        match next() % 4 {
+            0 => out.push_str("# perturbation comment\n"),
+            1 => out.push('\n'),
+            _ => {}
+        }
+        out.push_str(line);
+        if next() % 3 == 0 {
+            out.push_str("   ");
+        }
+        out.push_str(if next() % 5 == 0 { "  # trailing note\n" } else { "\n" });
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn parse_print_is_identity_and_idempotent(seed in 0u64..500) {
+        let source = generate(seed);
+        let ast = wormspec::parse(&source).expect("generated specs parse");
+        let printed = wormspec::to_spec(&ast);
+        let reparsed = wormspec::parse(&printed).expect("canonical text parses");
+        prop_assert_eq!(&reparsed, &ast, "parse(print(ast)) != ast for seed {}", seed);
+        prop_assert_eq!(
+            wormspec::to_spec(&reparsed),
+            printed,
+            "printing is not idempotent for seed {}",
+            seed
+        );
+    }
+
+    #[test]
+    fn hash_ignores_comments_and_whitespace(seed in 0u64..500, noise in 0u64..1000) {
+        let source = generate(seed);
+        let ast = wormspec::parse(&source).expect("generated specs parse");
+        let perturbed = perturb(&source, noise);
+        let perturbed_ast = wormspec::parse(&perturbed)
+            .unwrap_or_else(|e| panic!("{}", e.render(&perturbed, "perturbed")));
+        prop_assert_eq!(
+            wormspec::content_hash_hex(&ast),
+            wormspec::content_hash_hex(&perturbed_ast),
+            "hash moved under perturbation (seed {}, noise {})",
+            seed,
+            noise
+        );
+    }
+}
+
+#[test]
+fn hash_ignores_key_order_and_spelled_defaults() {
+    let variants = [
+        // Canonical-ish ordering.
+        "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n",
+        // Keys reordered.
+        "wormspec/1\ntopology { nodes = 4 kind = ring }\nrouting { engine = clockwise_ring }\n",
+        // Heavy reformatting.
+        "wormspec/1\n\n\ntopology {\n\n  nodes = 4\n  kind = ring\n}\nrouting {\n  engine = clockwise_ring\n}\n",
+    ];
+    let hashes: Vec<String> = variants
+        .iter()
+        .map(|v| wormspec::content_hash_hex(&wormspec::parse(v).unwrap()))
+        .collect();
+    assert_eq!(hashes[0], hashes[1]);
+    assert_eq!(hashes[0], hashes[2]);
+
+    // Spelled-out channel defaults hash identically to omitted ones.
+    let explicit = "wormspec/1\ntopology { kind = explicit node \"a\" node \"b\" channel \"a\" -> \"b\" node \"c\" channel \"b\" -> \"c\" channel \"c\" -> \"a\" }\nrouting { engine = shortest_path }\n";
+    let spelled = "wormspec/1\ntopology { kind = explicit node \"a\" node \"b\" channel \"a\" -> \"b\" lane 0 cap 1 flits node \"c\" channel \"b\" -> \"c\" channel \"c\" -> \"a\" }\nrouting { engine = shortest_path }\n";
+    assert_eq!(
+        wormspec::content_hash_hex(&wormspec::parse(explicit).unwrap()),
+        wormspec::content_hash_hex(&wormspec::parse(spelled).unwrap()),
+    );
+}
+
+#[test]
+fn different_scenarios_hash_differently() {
+    let a = wormspec::parse("wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n").unwrap();
+    let b = wormspec::parse("wormspec/1\ntopology { kind = ring nodes = 5 }\nrouting { engine = clockwise_ring }\n").unwrap();
+    let c = wormspec::parse("wormspec/1\ntopology { kind = ring nodes = 4 vcs = 2 lanes }\nrouting { engine = dateline_ring }\n").unwrap();
+    let (ha, hb, hc) = (
+        wormspec::content_hash_hex(&a),
+        wormspec::content_hash_hex(&b),
+        wormspec::content_hash_hex(&c),
+    );
+    assert_ne!(ha, hb);
+    assert_ne!(ha, hc);
+    assert_ne!(hb, hc);
+}
