@@ -22,8 +22,8 @@ use std::fmt;
 use std::time::Instant;
 
 use crate::scenarios::{
-    large_topology_scenarios, search_scenarios, sim_scenarios, SearchScenario, SimScenario,
-    TopologyScenario,
+    exist_scenarios, large_topology_scenarios, search_scenarios, sim_scenarios, ExistScenario,
+    SearchScenario, SimScenario, TopologyScenario,
 };
 use worm_core::classify::{classify_algorithm, AlgorithmVerdict, ClassifyOptions};
 use wormcdg::{Cdg, CdgBuilder};
@@ -226,10 +226,61 @@ pub fn run_search_suite(smoke: bool) -> BenchReport {
     for s in search_scenarios() {
         run_search_scenario(&mut report, &s, smoke);
     }
+    for s in exist_scenarios(smoke) {
+        run_exist_scenario(&mut report, &s);
+    }
     for s in large_topology_scenarios(smoke) {
         run_topo_scenario(&mut report, &s);
     }
     report
+}
+
+/// Run only the existence workloads (the `exist_*` entries of the
+/// search suite) into a fresh report — the `exp_exist` binary's
+/// engine.
+pub fn run_exist_suite(smoke: bool) -> BenchReport {
+    let mut report = BenchReport::new("search");
+    for s in exist_scenarios(smoke) {
+        run_exist_scenario(&mut report, &s);
+    }
+    report
+}
+
+/// Measure one existence workload: the full two-sided analysis
+/// (`wormexist::analyze`) on the fabric. Structural keys (`channels`,
+/// `demands`, `kind`, `sccs`, `verdict`, `witness_channels`) are
+/// exactly reproducible; `exist_ms` is a timing. The expected verdict
+/// is asserted — a baseline entry with the wrong answer must never be
+/// committed.
+fn run_exist_scenario(report: &mut BenchReport, s: &ExistScenario) {
+    let name = s.name.as_str();
+    report.insert(
+        name,
+        "channels",
+        BenchValue::Int(s.net.channel_count() as u64),
+    );
+    let start = Instant::now();
+    let exist = wormexist::analyze(&s.net, &wormexist::ExistOptions::default());
+    let exist_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.insert(name, "exist_ms", BenchValue::Float(exist_ms.round()));
+    report.insert(name, "demands", BenchValue::Int(exist.demands as u64));
+    report.insert(name, "kind", BenchValue::Str(exist.kind_name().into()));
+    report.insert(name, "sccs", BenchValue::Int(exist.sccs as u64));
+    report.insert(
+        name,
+        "verdict",
+        BenchValue::Str(exist.verdict.name().into()),
+    );
+    report.insert(
+        name,
+        "witness_channels",
+        BenchValue::Int(exist.witness_channels() as u64),
+    );
+    assert_eq!(
+        exist.verdict.name(),
+        s.expected_verdict,
+        "{name}: the existence engine must certify the expected verdict"
+    );
 }
 
 /// Run only the cluster-scale topology workloads (the `topo_*`
@@ -604,6 +655,21 @@ mod tests {
             ] {
                 assert!(entry.contains_key(key), "{name} missing {key}");
             }
+        }
+        for name in ["exist_fig1", "exist_g5", "exist_topo_dragonfly_novc"] {
+            let entry = &search.entries[name];
+            for key in [
+                "channels",
+                "demands",
+                "exist_ms",
+                "kind",
+                "sccs",
+                "verdict",
+                "witness_channels",
+            ] {
+                assert!(entry.contains_key(key), "{name} missing {key}");
+            }
+            assert_eq!(entry["verdict"], BenchValue::Str("exists".into()));
         }
         assert_eq!(
             search.entries["topo_dragonfly_min"]["lint_verdict"],

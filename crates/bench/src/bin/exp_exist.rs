@@ -1,0 +1,77 @@
+//! EXP-EXIST — two-sided existence verdicts at fabric scale: decide
+//! whether *any* deadlock-free (acyclic-CDG) routing exists, with a
+//! certificate either way, and no routing table in sight.
+//!
+//! Three workloads, the `exist_*` scenarios of the search suite:
+//!
+//! * the Figure 1 fabric — the paper's headline network, whose
+//!   published routing has a cyclic CDG; the engine certifies that an
+//!   acyclic-CDG routing also exists;
+//! * `G(5)` — the largest Section 6 generalized-family instance;
+//! * the no-VC dragonfly fabric (41 groups × 40 routers full scale) —
+//!   its production minimal routing deadlocks (see EXP-TOPO), but the
+//!   existence engine certifies the *fabric* routable: the table is at
+//!   fault, not the hardware.
+//!
+//! Each row reports the fabric size, the reachable demand count, the
+//! winning certificate kind, and the end-to-end analysis time. Every
+//! `exists` verdict is self-verified inside the engine by replaying
+//! the witness schedule over the reach game; `wormlint` surfaces the
+//! same verdicts as the `W3xx` lint family.
+//!
+//! Run with: `cargo run --release -p wormbench --bin exp_exist`
+//! (`--smoke` downscales the dragonfly; `--trace <path>` dumps
+//! wormtrace JSON with the `exist.*` counters)
+
+use wormbench::bench_report::{run_exist_suite, BenchValue};
+use wormbench::report::{cell, header, row};
+use wormbench::trace;
+
+fn get(values: &std::collections::BTreeMap<String, BenchValue>, key: &str) -> String {
+    match values
+        .get(key)
+        .expect("exist entries carry a fixed key set")
+    {
+        BenchValue::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn main() {
+    let _trace = trace::init("exp_exist");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    println!(
+        "EXP-EXIST: two-sided existence certificates ({} instances)",
+        if smoke { "smoke" } else { "full" },
+    );
+    println!();
+    let report = run_exist_suite(smoke);
+    let widths = [26, 10, 10, 6, 12, 12, 16, 9];
+    header(&[
+        ("scenario", widths[0]),
+        ("channels", widths[1]),
+        ("demands", widths[2]),
+        ("sccs", widths[3]),
+        ("verdict", widths[4]),
+        ("certificate", widths[5]),
+        ("witness_chans", widths[6]),
+        ("exist_ms", widths[7]),
+    ]);
+    for (name, values) in &report.entries {
+        row(&[
+            cell(name, widths[0]),
+            cell(get(values, "channels"), widths[1]),
+            cell(get(values, "demands"), widths[2]),
+            cell(get(values, "sccs"), widths[3]),
+            cell(get(values, "verdict"), widths[4]),
+            cell(get(values, "kind"), widths[5]),
+            cell(get(values, "witness_channels"), widths[6]),
+            cell(get(values, "exist_ms"), widths[7]),
+        ]);
+    }
+    println!();
+    println!("every `exists` above ships a one-pass channel schedule that the");
+    println!("engine replays to completion before answering; an `impossible`");
+    println!("would ship an isolated obstruction instead (none occur here —");
+    println!("these fabrics are routable, even the one whose table deadlocks).");
+}

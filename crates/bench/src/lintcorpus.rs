@@ -102,7 +102,7 @@ pub fn corpus() -> Vec<LintTarget> {
         df.into_network(),
         table,
         StaticVerdict::FreeAcyclic,
-        &["W102", "W208"],
+        &["W102", "W208", "W301"],
     ));
 
     let df = Dragonfly::with_lanes(3, 2, &[0], &[0]);
@@ -112,7 +112,7 @@ pub fn corpus() -> Vec<LintTarget> {
         df.into_network(),
         table,
         StaticVerdict::Deadlockable,
-        &["W105", "W201", "W202"],
+        &["W105", "W201", "W202", "W301", "W303"],
     ));
 
     let ft = FatTree::new(4);
@@ -122,7 +122,7 @@ pub fn corpus() -> Vec<LintTarget> {
         ft.into_network(),
         table,
         StaticVerdict::FreeAcyclic,
-        &["W003", "W102", "W103", "W105", "W209"],
+        &["W003", "W102", "W103", "W105", "W209", "W301"],
     ));
 
     let c = fig1::cyclic_dependency();
@@ -131,7 +131,7 @@ pub fn corpus() -> Vec<LintTarget> {
         c.net,
         c.table,
         StaticVerdict::Undecided,
-        &["W101", "W102", "W103", "W201", "W207"],
+        &["W101", "W102", "W103", "W201", "W207", "W301"],
     ));
 
     let c = fig2::two_message_deadlock();
@@ -140,7 +140,7 @@ pub fn corpus() -> Vec<LintTarget> {
         c.net,
         c.table,
         StaticVerdict::Deadlockable,
-        &["W101", "W102", "W103", "W201", "W203"],
+        &["W101", "W102", "W103", "W201", "W203", "W301", "W303"],
     ));
 
     for s in fig3::all_scenarios() {
@@ -148,12 +148,12 @@ pub fn corpus() -> Vec<LintTarget> {
         let (verdict, codes): (_, &[&'static str]) = if s.paper_unreachable {
             (
                 StaticVerdict::FreeCyclic,
-                &["W101", "W102", "W103", "W201", "W204"],
+                &["W101", "W102", "W103", "W201", "W204", "W301"],
             )
         } else {
             (
                 StaticVerdict::Deadlockable,
-                &["W101", "W102", "W103", "W201", "W205"],
+                &["W101", "W102", "W103", "W201", "W205", "W301", "W303"],
             )
         };
         out.push(LintTarget::new(
@@ -172,7 +172,7 @@ pub fn corpus() -> Vec<LintTarget> {
         net,
         table,
         StaticVerdict::FreeAcyclic,
-        &["W004", "W101", "W102", "W103", "W209"],
+        &["W004", "W101", "W102", "W103", "W209", "W301"],
     ));
 
     for k in 1..=5 {
@@ -182,7 +182,7 @@ pub fn corpus() -> Vec<LintTarget> {
             c.net,
             c.table,
             StaticVerdict::Undecided,
-            &["W101", "W102", "W103", "W201", "W207"],
+            &["W101", "W102", "W103", "W201", "W207", "W301"],
         ));
     }
 
@@ -193,7 +193,7 @@ pub fn corpus() -> Vec<LintTarget> {
         mesh.into_network(),
         table,
         StaticVerdict::FreeAcyclic,
-        &["W105"],
+        &["W105", "W301"],
     ));
 
     let (net, nodes) = ring_unidirectional(4);
@@ -203,7 +203,7 @@ pub fn corpus() -> Vec<LintTarget> {
         net,
         table,
         StaticVerdict::Deadlockable,
-        &["W105", "W201", "W202"],
+        &["W105", "W201", "W202", "W302"],
     ));
 
     let (net, nodes) = ring_with_vcs(8, 2);
@@ -213,7 +213,7 @@ pub fn corpus() -> Vec<LintTarget> {
         net,
         table,
         StaticVerdict::FreeAcyclic,
-        &["W004", "W102"],
+        &["W004", "W102", "W301"],
     ));
 
     out

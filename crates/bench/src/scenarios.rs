@@ -198,6 +198,47 @@ pub fn large_topology_scenarios(smoke: bool) -> Vec<TopologyScenario> {
     out
 }
 
+/// One named existence workload: a fabric whose two-sided
+/// routability verdict `wormexist` must reach (and certify).
+#[derive(Clone, Debug)]
+pub struct ExistScenario {
+    /// Stable scenario name (used as the JSON baseline key).
+    pub name: String,
+    /// The fabric under the existence question.
+    pub net: Network,
+    /// The verdict the engine must reach (`"exists"` on every fabric
+    /// here — the interesting measurement is which certificate wins
+    /// and how fast, not the answer).
+    pub expected_verdict: &'static str,
+}
+
+/// The existence workloads of the search suite: the Figure 1 fabric,
+/// the largest generalized-family instance `G(5)`, and the no-VC
+/// dragonfly *fabric* (whose production minimal routing deadlocks —
+/// the engine must still certify that a deadlock-free routing exists,
+/// pinning the blame on the table). `smoke` downscales the dragonfly
+/// alongside [`large_topology_scenarios`].
+pub fn exist_scenarios(smoke: bool) -> Vec<ExistScenario> {
+    let (groups, routers) = if smoke { (5, 4) } else { (41, 40) };
+    vec![
+        ExistScenario {
+            name: "exist_fig1".into(),
+            net: fig1::cyclic_dependency().net,
+            expected_verdict: "exists",
+        },
+        ExistScenario {
+            name: "exist_g5".into(),
+            net: generalized::generalized(5).net,
+            expected_verdict: "exists",
+        },
+        ExistScenario {
+            name: "exist_topo_dragonfly_novc".into(),
+            net: Dragonfly::with_lanes(groups, routers, &[0], &[0]).into_network(),
+            expected_verdict: "exists",
+        },
+    ]
+}
+
 /// One named flit-level simulator workload.
 #[derive(Clone, Debug)]
 pub struct SimScenario {

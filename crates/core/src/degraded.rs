@@ -27,6 +27,7 @@
 //! argument survive this fault?
 
 use wormcdg::Cdg;
+use wormexist::{ExistOptions, ExistenceReport};
 use wormnet::{ChannelId, Network};
 use wormroute::TableRouting;
 
@@ -54,6 +55,13 @@ pub struct DegradedClassification {
     pub degraded_edges: usize,
     /// The pipeline's verdict on the degraded relation.
     pub verdict: AlgorithmVerdict,
+    /// The existence engine's two-sided verdict for the *degraded
+    /// fabric* itself ([`wormexist::analyze_masked`] over the same
+    /// down set): even when this table's verdict breaks, does some
+    /// deadlock-free routing still exist among the surviving pairs —
+    /// or can none? Separates "the routing broke" from "the fabric
+    /// became unroutable".
+    pub existence: ExistenceReport,
 }
 
 impl DegradedClassification {
@@ -94,6 +102,7 @@ pub fn classify_degraded(
     );
 
     let verdict = classify_algorithm(net, &degraded_table, opts);
+    let existence = wormexist::analyze_masked(net, &down, &ExistOptions::default());
     DegradedClassification {
         down,
         table: degraded_table,
@@ -102,6 +111,7 @@ pub fn classify_degraded(
         masked_edges: masked.edge_count(),
         degraded_edges: degraded.edge_count(),
         verdict,
+        existence,
     }
 }
 
@@ -137,6 +147,25 @@ mod tests {
             d.verdict,
             AlgorithmVerdict::DeadlockFreeAcyclic { .. }
         ));
+    }
+
+    #[test]
+    fn degraded_existence_tracks_the_fabric_not_the_table() {
+        let (net, nodes) = ring_unidirectional(4);
+        let table = clockwise_ring(&net, &nodes).unwrap();
+        // The healthy single-lane ring fabric admits *no* deadlock-free
+        // routing at all — the table is not the problem.
+        let healthy = classify_degraded(&net, &table, &[], &ClassifyOptions::default());
+        assert_eq!(
+            healthy.existence.verdict,
+            wormexist::ExistenceVerdict::Impossible
+        );
+        // Amputating a ring channel leaves an acyclic path: everything
+        // that still has a path routes deadlock-free.
+        let c01 = net.find_channel(nodes[0], nodes[1]).unwrap();
+        let d = classify_degraded(&net, &table, &[c01], &ClassifyOptions::default());
+        assert_eq!(d.existence.verdict, wormexist::ExistenceVerdict::Exists);
+        assert_eq!(d.existence.down, vec![c01]);
     }
 
     #[test]

@@ -59,7 +59,8 @@ mod tests {
 
     #[test]
     fn engine_decides_the_search_fallback() {
-        let base = "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n";
+        let base =
+            "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n";
         assert!(!options_from_spec(None).unwrap().use_search);
         assert!(!resolve(&format!("{base}verify {{ engine = static }}\n")).use_search);
         assert!(resolve(&format!("{base}verify {{ engine = search }}\n")).use_search);

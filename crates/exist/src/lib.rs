@@ -1,0 +1,77 @@
+//! Static *existence* engine: does **any** deadlock-free oblivious
+//! routing exist for this (possibly degraded) network?
+//!
+//! The paper's Section 5 pipeline (`worm_core::classify`, `wormlint`)
+//! verifies a *given* routing. This crate answers the prior question
+//! the control plane faces under churn, in the style of Mendlovic &
+//! Matias's necessary-and-sufficient condition for existence of
+//! deadlock-free routing on arbitrary networks, and returns a
+//! **two-sided certificate** either way:
+//!
+//! * **Exists** — a constructive witness: a total order on the live
+//!   channels (a *one-pass channel schedule*) from which a complete
+//!   routing table with an acyclic channel-dependency graph can be
+//!   materialised ([`witness_table`]). The existing classifier and
+//!   lint pipeline re-certify that table deadlock-free.
+//! * **Impossible** — a minimal obstruction witness: a violating
+//!   sub-network (strongly connected component with too few channels,
+//!   a forced-precedence cycle, or an exhaustively refuted component)
+//!   that [`check_obstruction`] re-validates in isolation.
+//!
+//! # The condition
+//!
+//! A complete deadlock-free *acyclic-CDG* routing (the class the
+//! Dally–Seitz criterion certifies, and the class `wormsearch` can
+//! always verify) exists for demand set `D` **iff** there is a total
+//! order `c₁ < c₂ < … < cₘ` on the channels such that processing the
+//! channels once, in order, wins the *reach game*: maintain a relation
+//! `R` (initially `{(v,v)}`); processing `c = (u,v)` adds `(s,v)` for
+//! every `(s,u) ∈ R`; the order wins iff finally `R ⊇ D`.
+//!
+//! *Sufficiency:* walk extraction from the game's provenance yields,
+//! for every demand, a path whose consecutive channels strictly ascend
+//! in the order, so every CDG edge ascends and the CDG is acyclic.
+//! *Necessity:* topologically order an acyclic CDG; every routing path
+//! ascends in that order, so replaying the order wins the game.
+//!
+//! The engine decomposes the live network into strongly connected
+//! components: internal demands of an SCC can only be served by
+//! internal channels (the condensation is a DAG), and per-SCC winning
+//! orders always compose across the condensation in topological order.
+//! Per component it closes the gap between cheap certificates from
+//! both sides:
+//!
+//! * **yes** — edge-disjoint in/out spanning branchings at a root
+//!   (hub schedule), then a greedy maximum-gain schedule, then an
+//!   exhaustive memoised game search on small components; every
+//!   winning order is re-verified by replaying the game.
+//! * **no** — the one-way gossip lower bound (an SCC with `n ≥ 3`
+//!   nodes needs at least `2n − 2` internal channels), forced
+//!   precedence cycles between single-in/single-out channels, and
+//!   exhaustive refutation on small components.
+//!
+//! Note the scope: "deadlock-free" here means *certifiably* so via an
+//! acyclic dependency graph. The paper's own Figure 1 phenomenon —
+//! deadlock freedom *with* cyclic dependencies — is a property of one
+//! concrete routing, not of the existence question: every network
+//! whose live graph supports an acyclic-CDG routing also supports the
+//! cyclic ones, and networks refuted here admit no oblivious routing
+//! that the Dally–Seitz/Duato static pipeline can certify.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod branchings;
+mod engine;
+mod obstruction;
+mod reach;
+mod report;
+mod schedule;
+pub mod spec;
+
+pub use engine::{analyze, analyze_masked, ExistOptions};
+pub use obstruction::check_obstruction;
+pub use report::{
+    witness_table, ComponentWitness, ExistenceReport, ExistenceVerdict, Obstruction,
+    ObstructionKind, Witness, WitnessKind,
+};

@@ -1,0 +1,201 @@
+//! Impossibility certificates and their isolated re-validation.
+//!
+//! Two structural certificates refute a component without any search:
+//!
+//! * **Deficiency.** All-pairs coverage inside an SCC is one-way
+//!   gossip; in the one-way (telegraph) model it needs at least
+//!   `2n − 2` calls, and a one-pass schedule uses each channel at
+//!   most once — so an SCC with `n ≥ 3` nodes and fewer than `2n − 2`
+//!   internal channels is unroutable. (This kills every single-lane
+//!   unidirectional ring: `n` channels < `2n − 2` for `n ≥ 3`.)
+//! * **Forced precedence.** Where a node has a *single* in- or
+//!   out-channel, every winning schedule is forced to order certain
+//!   channel pairs; if the forced pairs close a cycle no total order
+//!   exists. (This kills components that pass the counting bound,
+//!   e.g. two mutually-exclusive bottleneck chains.)
+
+use wormnet::{ChannelId, Network};
+
+use crate::engine::{build_component, live_sccs, Component};
+use crate::report::{Obstruction, ObstructionKind};
+use crate::schedule::{exact_order, ExactOutcome};
+
+/// The one-way gossip counting bound.
+pub(crate) fn deficiency(comp: &Component) -> Option<ObstructionKind> {
+    let n = comp.n();
+    if n >= 3 && comp.m() < 2 * n - 2 {
+        Some(ObstructionKind::Deficiency {
+            required: 2 * n - 2,
+        })
+    } else {
+        None
+    }
+}
+
+/// Forced precedence constraints `(a, b)` — channel `a` must be
+/// scheduled strictly before channel `b` in *every* winning order —
+/// for a component with `n ≥ 3` nodes.
+///
+/// Derivations (all demands are internal to the SCC, and internal
+/// demands can only use internal channels):
+///
+/// * `v` has a single in-channel `e = (u, v)`: every source must
+///   already reach `u` when `e` fires. So if `u` itself has a single
+///   in-channel `e′`, then `e′ < e`; and for every third node `w`
+///   with a single out-channel `f`, the demand `(w, v)` forces
+///   `f < e` (all of `w`'s reach starts with `f`).
+/// * `w` has a single out-channel `f = (w, x)`: all of `w`'s reach
+///   beyond `x` flows through `x`'s out-channels after `f`. So if
+///   `x` has a single out-channel `f′`, then `f < f′`; and for every
+///   third node `t` with a single in-channel `e`, the demand
+///   `(w, t)` forces `f < e`.
+fn constraints(comp: &Component) -> Vec<(usize, usize)> {
+    let n = comp.n();
+    debug_assert!(n >= 3);
+    let in_adj = comp.in_adj();
+    let out_adj = comp.out_adj();
+    let single = |adj: &[Vec<usize>], v: usize| (adj[v].len() == 1).then(|| adj[v][0]);
+    let mut edges = Vec::new();
+    for v in 0..n {
+        if let Some(e) = single(&in_adj, v) {
+            let u = comp.ends[e].0;
+            if let Some(e2) = single(&in_adj, u) {
+                edges.push((e2, e));
+            }
+            for w in 0..n {
+                if w == u || w == v {
+                    continue;
+                }
+                if let Some(f) = single(&out_adj, w) {
+                    edges.push((f, e));
+                }
+            }
+        }
+        if let Some(f) = single(&out_adj, v) {
+            let x = comp.ends[f].1;
+            if let Some(f2) = single(&out_adj, x) {
+                edges.push((f, f2));
+            }
+            for t in 0..n {
+                if t == v || t == x {
+                    continue;
+                }
+                if let Some(e) = single(&in_adj, t) {
+                    edges.push((f, e));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges.retain(|&(a, b)| a != b);
+    edges
+}
+
+/// Find a cycle of forced precedences, as local channel indices in
+/// constraint order (`cycle[i]` forced before `cycle[i+1]`,
+/// cyclically). `None` when the constraint digraph is acyclic.
+pub(crate) fn precedence_cycle(comp: &Component) -> Option<Vec<usize>> {
+    if comp.n() < 3 {
+        return None;
+    }
+    let m = comp.m();
+    let edges = constraints(comp);
+    let mut adj = vec![Vec::new(); m];
+    for &(a, b) in &edges {
+        adj[a].push(b);
+    }
+    // Iterative 3-colour DFS; the stack of grey vertices yields the
+    // cycle when a back edge appears.
+    let mut colour = vec![0u8; m];
+    for start in 0..m {
+        if colour[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        colour[start] = 1;
+        while let Some(&(v, next)) = stack.last() {
+            if next < adj[v].len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let w = adj[v][next];
+                match colour[w] {
+                    0 => {
+                        colour[w] = 1;
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        let from = stack
+                            .iter()
+                            .position(|&(u, _)| u == w)
+                            .expect("grey on stack");
+                        return Some(stack[from..].iter().map(|&(u, _)| u).collect());
+                    }
+                    _ => {}
+                }
+            } else {
+                colour[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Re-validate an obstruction in isolation: rebuild the live SCCs of
+/// `net` minus `down`, confirm the claimed node set is exactly one of
+/// them with exactly the claimed internal channels, and re-derive the
+/// specific violation from scratch.
+///
+/// This is the "checkable without trusting the engine" half of the
+/// impossible-side certificate; tests and the differential fuzzer
+/// call it on every `Impossible` verdict.
+pub fn check_obstruction(net: &Network, down: &[ChannelId], obstruction: &Obstruction) -> bool {
+    let mut alive = vec![true; net.channel_count()];
+    for c in down {
+        alive[c.index()] = false;
+    }
+    let mut nodes: Vec<usize> = obstruction.nodes.iter().map(|v| v.index()).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    if nodes.len() != obstruction.nodes.len() {
+        return false;
+    }
+    if !live_sccs(net, &alive).contains(&nodes) {
+        return false;
+    }
+    let comp = build_component(net, &alive, &nodes);
+    if comp.channels != obstruction.channels {
+        return false;
+    }
+    match &obstruction.kind {
+        ObstructionKind::Deficiency { required } => {
+            deficiency(&comp)
+                == Some(ObstructionKind::Deficiency {
+                    required: *required,
+                })
+        }
+        ObstructionKind::PrecedenceCycle { cycle } => {
+            if comp.n() < 3 || cycle.len() < 2 {
+                return false;
+            }
+            let local = |c: ChannelId| comp.channels.binary_search(&c).ok();
+            let Some(locals) = cycle.iter().map(|&c| local(c)).collect::<Option<Vec<_>>>() else {
+                return false;
+            };
+            let edges = constraints(&comp);
+            locals
+                .iter()
+                .zip(locals.iter().cycle().skip(1))
+                .all(|(&a, &b)| edges.binary_search(&(a, b)).is_ok())
+        }
+        ObstructionKind::Exhausted { states } => {
+            if comp.n() > 16 || comp.m() > 32 {
+                return false;
+            }
+            // Deterministic re-refutation, with headroom over the
+            // budget the original run reported.
+            let budget = states.saturating_mul(4).max(10_000_000);
+            matches!(exact_order(&comp, budget), ExactOutcome::Refuted { .. })
+        }
+    }
+}

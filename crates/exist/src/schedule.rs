@@ -1,0 +1,157 @@
+//! Schedule search: greedy maximum-gain construction for mid-size
+//! components and exhaustive memoised game search for small ones.
+
+use std::collections::HashSet;
+
+use crate::engine::Component;
+use crate::reach::ReachGame;
+
+/// Greedy winning-order construction: repeatedly process the unused
+/// channel with the largest marginal gain (ties to the lowest channel
+/// index). Returns the winning prefix, or `None` when the greedy run
+/// gets stuck (every remaining channel has zero gain) before covering
+/// all internal pairs. Sound but incomplete — the engine falls
+/// through to the exact game or reports unknown.
+pub(crate) fn greedy_order(comp: &Component) -> Option<Vec<usize>> {
+    let n = comp.n();
+    let m = comp.m();
+    let members: Vec<usize> = (0..n).collect();
+    let mut game = ReachGame::new(n);
+    let mut unused: Vec<bool> = vec![true; m];
+    let mut order = Vec::with_capacity(m);
+    loop {
+        if game.covers_all_pairs(&members) {
+            return Some(order);
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for (e, &(src, dst)) in comp.ends.iter().enumerate().take(m) {
+            if !unused[e] {
+                continue;
+            }
+            let gain = game.gain(src, dst);
+            if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+                best = Some((gain, e));
+            }
+        }
+        let (_, e) = best?;
+        let (src, dst) = comp.ends[e];
+        game.process(src, dst);
+        unused[e] = false;
+        order.push(e);
+    }
+}
+
+/// Outcome of the exhaustive reach-game search.
+pub(crate) enum ExactOutcome {
+    /// A winning prefix was found.
+    Win(Vec<usize>),
+    /// The whole (pruned) game tree was explored: no order wins.
+    Refuted {
+        /// States explored by the refutation.
+        states: u64,
+    },
+    /// The state budget ran out before the tree was exhausted.
+    Budget {
+        /// States explored before giving up.
+        states: u64,
+    },
+}
+
+struct Exact<'a> {
+    comp: &'a Component,
+    full: u16,
+    budget: u64,
+    states: u64,
+    /// Fully-explored losing states: (processed-channel mask, reach).
+    memo: HashSet<(u32, Vec<u16>)>,
+    path: Vec<usize>,
+}
+
+enum Step {
+    Win,
+    Lose,
+    Budget,
+}
+
+impl Exact<'_> {
+    fn dfs(&mut self, mask: u32, rt: &[u16]) -> Step {
+        if rt.iter().all(|&row| row == self.full) {
+            return Step::Win;
+        }
+        self.states += 1;
+        if self.states > self.budget {
+            return Step::Budget;
+        }
+        let m = self.comp.m();
+        let n = self.comp.n();
+        // Admissible bound: each remaining channel covers at most
+        // n - 1 new pairs.
+        let uncovered: u32 = rt.iter().map(|&row| (self.full & !row).count_ones()).sum();
+        let remaining = (m as u32) - mask.count_ones();
+        if uncovered > remaining * (n as u32 - 1) {
+            return Step::Lose;
+        }
+        let key = (mask, rt.to_vec());
+        if self.memo.contains(&key) {
+            return Step::Lose;
+        }
+        // Branch only on channels with positive gain: a zero-gain
+        // channel leaves the reach state unchanged, so any winning
+        // order that schedules one next can defer it to the end
+        // without hurting later gains.
+        for e in 0..m {
+            if mask & (1 << e) != 0 {
+                continue;
+            }
+            let (src, dst) = self.comp.ends[e];
+            let add = rt[src] & !rt[dst];
+            if add == 0 {
+                continue;
+            }
+            let mut next = rt.to_vec();
+            next[dst] |= add;
+            self.path.push(e);
+            match self.dfs(mask | (1 << e), &next) {
+                Step::Win => return Step::Win,
+                Step::Budget => return Step::Budget,
+                Step::Lose => {
+                    self.path.pop();
+                }
+            }
+        }
+        self.memo.insert(key);
+        Step::Lose
+    }
+}
+
+/// Exhaustively decide the component (small components only: the
+/// processed-channel mask must fit 32 bits and reach rows 16 bits).
+/// Within budget this is a decision procedure: `Win` and `Refuted`
+/// are both certificates.
+pub(crate) fn exact_order(comp: &Component, budget: u64) -> ExactOutcome {
+    let n = comp.n();
+    let m = comp.m();
+    debug_assert!(
+        n <= 16 && m <= 32,
+        "exact game called on oversized component"
+    );
+    let full = if n == 16 { u16::MAX } else { (1u16 << n) - 1 };
+    let rt: Vec<u16> = (0..n).map(|v| 1u16 << v).collect();
+    let mut exact = Exact {
+        comp,
+        full,
+        budget,
+        states: 0,
+        memo: HashSet::new(),
+        path: Vec::new(),
+    };
+    match exact.dfs(0, &rt) {
+        Step::Win => ExactOutcome::Win(exact.path),
+        Step::Lose => ExactOutcome::Refuted {
+            states: exact.states,
+        },
+        Step::Budget => ExactOutcome::Budget {
+            states: exact.states,
+        },
+    }
+}

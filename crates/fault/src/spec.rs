@@ -17,10 +17,7 @@ fn err(code: &'static str, msg: impl Into<String>, span: Span) -> SpecError {
     SpecError::new(code, msg, span)
 }
 
-fn channel(
-    net: &Network,
-    id: &wormspec::ast::Spanned<u64>,
-) -> Result<ChannelId, SpecError> {
+fn channel(net: &Network, id: &wormspec::ast::Spanned<u64>) -> Result<ChannelId, SpecError> {
     let idx = usize::try_from(id.value)
         .map_err(|_| err(codes::RANGE, "channel index out of range", id.span))?;
     if idx >= net.channel_count() {
@@ -36,16 +33,15 @@ fn channel(
     Ok(ChannelId::from_index(idx))
 }
 
-fn message(
-    id: &wormspec::ast::Spanned<u64>,
-    message_count: usize,
-) -> Result<MessageId, SpecError> {
+fn message(id: &wormspec::ast::Spanned<u64>, message_count: usize) -> Result<MessageId, SpecError> {
     let idx = usize::try_from(id.value)
         .map_err(|_| err(codes::RANGE, "message index out of range", id.span))?;
     if idx >= message_count {
         return Err(err(
             codes::RESOLVE,
-            format!("message m{idx} does not exist (the traffic resolves to {message_count} messages)"),
+            format!(
+                "message m{idx} does not exist (the traffic resolves to {message_count} messages)"
+            ),
             id.span,
         ));
     }
@@ -94,7 +90,11 @@ pub fn plan_from_spec(
             }
             FaultDecl::Stall { node, at, dur } => {
                 let n = net.node_by_name(&node.value).ok_or_else(|| {
-                    err(codes::RESOLVE, format!("unknown node \"{}\"", node.value), node.span)
+                    err(
+                        codes::RESOLVE,
+                        format!("unknown node \"{}\"", node.value),
+                        node.span,
+                    )
                 })?;
                 plan.router_stall(n, at.value.value, dur.value.value)
             }

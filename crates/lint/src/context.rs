@@ -8,6 +8,7 @@
 use worm_core::conditions::{eight_conditions, EightConditions};
 use wormcdg::sharing::{self, SharingAnalysis};
 use wormcdg::{enumerate_candidates, Cdg, CdgBuilder, CdgCycle, DeadlockCandidate};
+use wormexist::{ExistOptions, ExistenceReport};
 use wormnet::graph::SccEngineKind;
 use wormnet::Network;
 use wormroute::properties::{self, PropertyReport};
@@ -101,6 +102,10 @@ pub struct LintContext<'a> {
     /// the cycle budget was exceeded: `Deadlockable` findings remain
     /// sound, but the spec can never be certified free.
     pub cycles_complete: bool,
+    /// The existence engine's verdict for the *network* (independent
+    /// of the table under analysis): does any deadlock-free routing
+    /// exist at all? Read by the `W3xx` lint family.
+    pub existence: ExistenceReport,
 }
 
 impl<'a> LintContext<'a> {
@@ -149,6 +154,7 @@ impl<'a> LintContext<'a> {
                 .collect();
             (analyzed, complete)
         };
+        let existence = wormexist::analyze(net, &ExistOptions::default());
         LintContext {
             net,
             table,
@@ -158,7 +164,20 @@ impl<'a> LintContext<'a> {
             scc_engine: engine,
             cycles,
             cycles_complete,
+            existence,
         }
+    }
+
+    /// Does the static pass certify *this* table deadlockable? The
+    /// same fold the overall verdict uses, before any search
+    /// assistance: Corollary 1, or a theorem-certified reachable
+    /// candidate on a cyclic CDG.
+    pub fn statically_deadlockable(&self) -> bool {
+        !self.scc_acyclic
+            && (self.properties.node_function
+                || self
+                    .candidates()
+                    .any(|(_, ca)| ca.class.reachable() == Some(true)))
     }
 
     /// Iterate every candidate analysis across all enumerated cycles.

@@ -8,8 +8,10 @@
 //! | `W1xx` | [`routing`] | routing-function properties (Definitions 7–9, Corollary 1) |
 //! | `W201`–`W207` | [`theorems`] | CDG cycles and the Section 5 theorems |
 //! | `W208`–`W209` | [`certificates`] | positive Dally–Seitz numbering certificates |
+//! | `W3xx` | [`existence`] | two-sided existence certificates for the network itself |
 
 pub mod certificates;
+pub mod existence;
 pub mod routing;
 pub mod structure;
 pub mod theorems;
@@ -40,6 +42,10 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
         Box::new(theorems::OutOfScopeCycle),
         Box::new(certificates::VcMonotoneCertificate),
         Box::new(certificates::DownUpCertificate),
+        Box::new(existence::ExistenceWitness),
+        Box::new(existence::ExistenceObstruction),
+        Box::new(existence::DeadlockableButRoutable),
+        Box::new(existence::ExistenceUndecided),
     ]
 }
 

@@ -243,9 +243,7 @@ pub fn build_topology(t: &Topology) -> Result<BuiltTopology, SpecError> {
                 .map(|d| d.value)
                 .unwrap_or(RingDirection::Unidirectional);
             let (net, nodes) = match (&t.vcs, direction) {
-                (Some(v), RingDirection::Unidirectional) => {
-                    ring_with_vcs(count, check_vcs(v)?)
-                }
+                (Some(v), RingDirection::Unidirectional) => ring_with_vcs(count, check_vcs(v)?),
                 (Some(v), RingDirection::Bidirectional) => {
                     return Err(err(
                         codes::CONFLICT,
@@ -273,14 +271,24 @@ pub fn build_topology(t: &Topology) -> Result<BuiltTopology, SpecError> {
         TopologyKind::Dragonfly => {
             reject_foreign_keys(
                 t,
-                &["groups", "routers", "local_lanes", "global_lanes", "valiant"],
+                &[
+                    "groups",
+                    "routers",
+                    "local_lanes",
+                    "global_lanes",
+                    "valiant",
+                ],
             )?;
             let g = require(&t.groups, "groups", kind, at)?;
             let r = require(&t.routers, "routers", kind, at)?;
             let groups = as_usize(g.value, "group count", g.span)?;
             let routers = as_usize(r.value, "router count", r.span)?;
             if groups < 2 {
-                return Err(err(codes::RANGE, "a dragonfly needs at least two groups", g.span));
+                return Err(err(
+                    codes::RANGE,
+                    "a dragonfly needs at least two groups",
+                    g.span,
+                ));
             }
             if routers < 2 {
                 return Err(err(
@@ -355,10 +363,18 @@ pub fn build_topology(t: &Topology) -> Result<BuiltTopology, SpecError> {
 
 fn check_dims(dims: &wormspec::ast::Spanned<Vec<u64>>) -> Result<Vec<usize>, SpecError> {
     if dims.value.is_empty() {
-        return Err(err(codes::RANGE, "`dims` must list at least one extent", dims.span));
+        return Err(err(
+            codes::RANGE,
+            "`dims` must list at least one extent",
+            dims.span,
+        ));
     }
     if dims.value.iter().any(|&d| d < 2) {
-        return Err(err(codes::RANGE, "every mesh/torus extent must be at least 2", dims.span));
+        return Err(err(
+            codes::RANGE,
+            "every mesh/torus extent must be at least 2",
+            dims.span,
+        ));
     }
     dims.value
         .iter()
@@ -387,7 +403,11 @@ fn lanes_of(
         )
     })?;
     if s.value.is_empty() {
-        return Err(err(codes::RANGE, format!("`{key}` must be non-empty"), s.span));
+        return Err(err(
+            codes::RANGE,
+            format!("`{key}` must be non-empty"),
+            s.span,
+        ));
     }
     s.value
         .iter()
@@ -416,14 +436,20 @@ fn build_explicit(t: &Topology) -> Result<BuiltTopology, SpecError> {
                 let src = net.node_by_name(&c.src.value).ok_or_else(|| {
                     err(
                         codes::RESOLVE,
-                        format!("unknown node \"{}\" (declare it before the channel)", c.src.value),
+                        format!(
+                            "unknown node \"{}\" (declare it before the channel)",
+                            c.src.value
+                        ),
                         c.src.span,
                     )
                 })?;
                 let dst = net.node_by_name(&c.dst.value).ok_or_else(|| {
                     err(
                         codes::RESOLVE,
-                        format!("unknown node \"{}\" (declare it before the channel)", c.dst.value),
+                        format!(
+                            "unknown node \"{}\" (declare it before the channel)",
+                            c.dst.value
+                        ),
                         c.dst.span,
                     )
                 })?;
@@ -443,7 +469,13 @@ fn build_explicit(t: &Topology) -> Result<BuiltTopology, SpecError> {
                         c.cap.span,
                     ));
                 }
-                net.add_channel_full(src, dst, lane, cap, c.label.as_ref().map(|l| l.value.clone()));
+                net.add_channel_full(
+                    src,
+                    dst,
+                    lane,
+                    cap,
+                    c.label.as_ref().map(|l| l.value.clone()),
+                );
             }
         }
     }
@@ -468,19 +500,26 @@ mod tests {
 
     #[test]
     fn builds_named_topologies() {
-        let m = topo("wormspec/1\ntopology { kind = mesh dims = [3, 3] }\nrouting { engine = x }\n").unwrap();
+        let m =
+            topo("wormspec/1\ntopology { kind = mesh dims = [3, 3] }\nrouting { engine = x }\n")
+                .unwrap();
         assert_eq!(m.network().node_count(), 9);
         let t = topo("wormspec/1\ntopology { kind = torus dims = [4, 4] vcs = 2 lanes }\nrouting { engine = x }\n").unwrap();
         assert_eq!(t.network().node_count(), 16);
-        let r = topo("wormspec/1\ntopology { kind = ring nodes = 5 }\nrouting { engine = x }\n").unwrap();
+        let r = topo("wormspec/1\ntopology { kind = ring nodes = 5 }\nrouting { engine = x }\n")
+            .unwrap();
         assert_eq!(r.network().channel_count(), 5);
-        let h = topo("wormspec/1\ntopology { kind = hypercube dim = 3 }\nrouting { engine = x }\n").unwrap();
+        let h = topo("wormspec/1\ntopology { kind = hypercube dim = 3 }\nrouting { engine = x }\n")
+            .unwrap();
         assert_eq!(h.network().node_count(), 8);
         let d = topo("wormspec/1\ntopology { kind = dragonfly groups = 3 routers = 2 }\nrouting { engine = x }\n").unwrap();
         assert_eq!(d.network().node_count(), 6);
-        let f = topo("wormspec/1\ntopology { kind = fattree k = 4 }\nrouting { engine = x }\n").unwrap();
+        let f = topo("wormspec/1\ntopology { kind = fattree k = 4 }\nrouting { engine = x }\n")
+            .unwrap();
         assert!(f.network().node_count() > 0);
-        let c = topo("wormspec/1\ntopology { kind = complete nodes = 4 }\nrouting { engine = x }\n").unwrap();
+        let c =
+            topo("wormspec/1\ntopology { kind = complete nodes = 4 }\nrouting { engine = x }\n")
+                .unwrap();
         assert_eq!(c.network().channel_count(), 12);
     }
 
@@ -510,13 +549,20 @@ mod tests {
 
     #[test]
     fn foreign_keys_and_bad_ranges_are_conflicts() {
-        let e = topo("wormspec/1\ntopology { kind = ring nodes = 4 dims = [3] }\nrouting { engine = x }\n").unwrap_err();
+        let e = topo(
+            "wormspec/1\ntopology { kind = ring nodes = 4 dims = [3] }\nrouting { engine = x }\n",
+        )
+        .unwrap_err();
         assert_eq!(e.code, codes::CONFLICT);
-        let e = topo("wormspec/1\ntopology { kind = mesh dims = [3] node \"A\" }\nrouting { engine = x }\n").unwrap_err();
+        let e = topo(
+            "wormspec/1\ntopology { kind = mesh dims = [3] node \"A\" }\nrouting { engine = x }\n",
+        )
+        .unwrap_err();
         assert_eq!(e.code, codes::CONFLICT);
         let e = topo("wormspec/1\ntopology { kind = mesh }\nrouting { engine = x }\n").unwrap_err();
         assert_eq!(e.code, codes::MISSING);
-        let e = topo("wormspec/1\ntopology { kind = fattree k = 3 }\nrouting { engine = x }\n").unwrap_err();
+        let e = topo("wormspec/1\ntopology { kind = fattree k = 3 }\nrouting { engine = x }\n")
+            .unwrap_err();
         assert_eq!(e.code, codes::RANGE);
         let e = topo("wormspec/1\ntopology { kind = torus dims = [4, 4] vcs = 1 lanes }\nrouting { engine = x }\n").unwrap_err();
         assert_eq!(e.code, codes::RANGE);

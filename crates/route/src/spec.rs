@@ -19,7 +19,11 @@ fn err(code: &'static str, msg: impl Into<String>, span: Span) -> SpecError {
 }
 
 fn route_err(e: RouteError, span: Span) -> SpecError {
-    err(codes::RESOLVE, format!("routing resolution failed: {e}"), span)
+    err(
+        codes::RESOLVE,
+        format!("routing resolution failed: {e}"),
+        span,
+    )
 }
 
 fn kind_mismatch(engine: &str, needs: &str, topo: &BuiltTopology, span: Span) -> SpecError {
@@ -37,17 +41,16 @@ fn kind_mismatch(engine: &str, needs: &str, topo: &BuiltTopology, span: Span) ->
 ///
 /// Engine names are the `wormroute::algorithms` function names; the
 /// special name `table` replays explicit `path` declarations.
-pub fn table_from_spec(
-    routing: &Routing,
-    topo: &BuiltTopology,
-) -> Result<TableRouting, SpecError> {
+pub fn table_from_spec(routing: &Routing, topo: &BuiltTopology) -> Result<TableRouting, SpecError> {
     let engine = routing.engine.value.as_str();
     let at = routing.engine.span;
     if engine != "table" {
         if let Some(p) = routing.paths.first() {
             return Err(err(
                 codes::CONFLICT,
-                format!("explicit `path` declarations need `engine = table`, not `engine = {engine}`"),
+                format!(
+                    "explicit `path` declarations need `engine = table`, not `engine = {engine}`"
+                ),
                 p.src.span,
             ));
         }
@@ -65,15 +68,14 @@ pub fn table_from_spec(
                 "negative_first" => algorithms::negative_first,
                 _ => algorithms::valiant_mesh,
             };
-            if engine == "xy_mesh" || engine == "west_first" {
-                if mesh.dims().len() != 2 {
+            if (engine == "xy_mesh" || engine == "west_first")
+                && mesh.dims().len() != 2 {
                     return Err(err(
                         codes::CONFLICT,
                         format!("engine `{engine}` needs a 2-D mesh"),
                         at,
                     ));
                 }
-            }
             if engine == "valiant_mesh" && mesh.vcs() < 2 {
                 return Err(err(
                     codes::CONFLICT,
@@ -168,10 +170,18 @@ fn explicit_table(routing: &Routing, topo: &BuiltTopology) -> Result<TableRoutin
     let mut table = TableRouting::new();
     for p in &routing.paths {
         let src = net.node_by_name(&p.src.value).ok_or_else(|| {
-            err(codes::RESOLVE, format!("unknown node \"{}\"", p.src.value), p.src.span)
+            err(
+                codes::RESOLVE,
+                format!("unknown node \"{}\"", p.src.value),
+                p.src.span,
+            )
         })?;
         let dst = net.node_by_name(&p.dst.value).ok_or_else(|| {
-            err(codes::RESOLVE, format!("unknown node \"{}\"", p.dst.value), p.dst.span)
+            err(
+                codes::RESOLVE,
+                format!("unknown node \"{}\"", p.dst.value),
+                p.dst.span,
+            )
         })?;
         let mut channels = Vec::with_capacity(p.channels.value.len());
         for &c in &p.channels.value {
@@ -189,8 +199,7 @@ fn explicit_table(routing: &Routing, topo: &BuiltTopology) -> Result<TableRoutin
             }
             channels.push(ChannelId::from_index(idx));
         }
-        let path = Path::from_channels(net, channels)
-            .map_err(|e| route_err(e, p.channels.span))?;
+        let path = Path::from_channels(net, channels).map_err(|e| route_err(e, p.channels.span))?;
         table
             .insert(net, src, dst, path)
             .map_err(|e| route_err(e, p.src.span.to(p.dst.span)))?;

@@ -53,10 +53,12 @@ fn parse_cli() -> Cli {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| args.next().unwrap_or_else(|| {
-            eprintln!("{name} needs a value");
-            usage()
-        });
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
         match arg.as_str() {
             "--cache" => cli.cache = Some(PathBuf::from(value("--cache"))),
             "--workers" => cli.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
@@ -135,7 +137,11 @@ fn main() -> ExitCode {
                 }
             }
         }
-        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     }
 
     let server = Server::start(ServerConfig {

@@ -56,9 +56,7 @@ impl ResultCache {
             .map(|entries| {
                 entries
                     .filter_map(Result::ok)
-                    .filter(|e| {
-                        e.path().extension().and_then(|x| x.to_str()) == Some("json")
-                    })
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("json"))
                     .count()
             })
             .unwrap_or(0)
@@ -75,7 +73,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("wormserve-cache-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("wormserve-cache-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

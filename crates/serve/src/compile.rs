@@ -8,6 +8,7 @@
 //! they are what the result cache keys on.
 
 use worm_core::classify::ClassifyOptions;
+use wormexist::ExistOptions;
 use wormfault::FaultPlan;
 use wormlint::LintConfig;
 use wormnet::spec::BuiltTopology;
@@ -46,6 +47,8 @@ pub struct CompiledJob {
     pub lint_config: LintConfig,
     /// Classifier options (search fallback, budgets, SCC engine).
     pub classify_options: ClassifyOptions,
+    /// Existence-engine budgets (the two-sided routability verdict).
+    pub exist_options: ExistOptions,
     /// Exhaustive-search budgets.
     pub search_config: SearchConfig,
     /// `verify { capacity = N flits }` buffer override for the
@@ -99,6 +102,7 @@ pub fn compile(source: &str) -> Result<CompiledJob, SpecError> {
     let verify = spec.verify.as_ref();
     let lint_config = wormlint::spec::config_from_spec(verify)?;
     let classify_options = worm_core::spec::options_from_spec(verify)?;
+    let exist_options = wormexist::spec::options_from_spec(verify)?;
     let search_config = wormsearch::spec::config_from_spec(verify)?;
     let capacity = match verify.and_then(|v| v.capacity.as_ref()) {
         Some(c) => {
@@ -133,6 +137,7 @@ pub fn compile(source: &str) -> Result<CompiledJob, SpecError> {
         plan,
         lint_config,
         classify_options,
+        exist_options,
         search_config,
         capacity,
         horizon,
@@ -162,7 +167,10 @@ mod tests {
 
     #[test]
     fn the_hash_tracks_canonical_text_not_surface_syntax() {
-        let a = compile("wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n").unwrap();
+        let a = compile(
+            "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n",
+        )
+        .unwrap();
         let b = compile(
             "wormspec/1\n# a comment\ntopology {\n  nodes = 4\n  kind = ring\n}\nrouting { engine = clockwise_ring }\n",
         )

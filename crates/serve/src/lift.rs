@@ -46,9 +46,7 @@ pub fn lift(net: &Network, table: &TableRouting) -> Spec {
         .map(|(&(src, dst), path)| PathDecl {
             src: dummy_str(net.node_name(src)),
             dst: dummy_str(net.node_name(dst)),
-            channels: Spanned::dummy(
-                path.channels().iter().map(|c| c.index() as u64).collect(),
-            ),
+            channels: Spanned::dummy(path.channels().iter().map(|c| c.index() as u64).collect()),
         })
         .collect();
     Spec {
@@ -92,12 +90,18 @@ mod tests {
         assert_eq!(net.node_count(), c.net.node_count());
         assert_eq!(net.channel_count(), c.net.channel_count());
         for (a, b) in net.channels().zip(c.net.channels()) {
-            assert_eq!((a.src(), a.dst(), a.vc(), a.capacity()), (b.src(), b.dst(), b.vc(), b.capacity()));
+            assert_eq!(
+                (a.src(), a.dst(), a.vc(), a.capacity()),
+                (b.src(), b.dst(), b.vc(), b.capacity())
+            );
             assert_eq!(a.label(), b.label());
         }
         assert_eq!(table.len(), c.table.len());
         for (pair, path) in c.table.iter() {
-            assert_eq!(table.path(pair.0, pair.1).map(|p| p.channels()), Some(path.channels()));
+            assert_eq!(
+                table.path(pair.0, pair.1).map(|p| p.channels()),
+                Some(path.channels())
+            );
         }
     }
 

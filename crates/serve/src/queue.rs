@@ -173,7 +173,9 @@ mod tests {
             .flat_map(|c| c.join().unwrap())
             .collect();
         all.sort_unstable();
-        let mut expected: Vec<i32> = (0..4).flat_map(|p| (0..25).map(move |i| p * 100 + i)).collect();
+        let mut expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..25).map(move |i| p * 100 + i))
+            .collect();
         expected.sort_unstable();
         assert_eq!(all, expected);
     }

@@ -196,7 +196,8 @@ impl Server {
 mod tests {
     use super::*;
 
-    const RING: &str = "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n";
+    const RING: &str =
+        "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n";
 
     #[test]
     fn a_batch_drains_in_submission_order() {
@@ -220,7 +221,10 @@ mod tests {
     #[test]
     fn spec_errors_come_back_rendered_not_panicking() {
         let server = Server::start(ServerConfig::default()).unwrap();
-        server.submit("bad", "wormspec/1\ntopology { kind = mesh }\nrouting { engine = dimension_order }\n");
+        server.submit(
+            "bad",
+            "wormspec/1\ntopology { kind = mesh }\nrouting { engine = dimension_order }\n",
+        );
         let results = server.shutdown();
         let err = results[0].verdict.as_ref().unwrap_err();
         assert!(err.contains("error[E012]"), "{err}");

@@ -106,7 +106,11 @@ pub fn generate(seed: u64) -> String {
         ));
     }
     if rng.random_bool(0.5) {
-        let engine = if rng.random_bool(0.5) { "search" } else { "static" };
+        let engine = if rng.random_bool(0.5) {
+            "search"
+        } else {
+            "static"
+        };
         let stall = rng.random_range(0u64..=1);
         out.push_str(&format!(
             "verify {{ engine = {engine} max_states = 20000 stall_budget = {stall} cycles }}\n"
@@ -167,7 +171,13 @@ fn search_over(job: &CompiledJob) -> Option<(SearchVerdict, &'static str)> {
     if job.messages.is_empty() || job.messages.len() > crate::verdict::MAX_SEARCH_MESSAGES {
         return None;
     }
-    let sim = Sim::new(job.network(), &job.table, job.messages.clone(), job.capacity).ok()?;
+    let sim = Sim::new(
+        job.network(),
+        &job.table,
+        job.messages.clone(),
+        job.capacity,
+    )
+    .ok()?;
     let result = explore(&sim, &job.search_config);
     let name = match result.verdict {
         SearchVerdict::DeadlockReachable(_) => "deadlock-reachable",
@@ -193,9 +203,10 @@ pub fn differential(seed: u64) -> DifferentialReport {
     let job = match compile(&source) {
         Ok(job) => job,
         Err(e) => {
-            report
-                .failures
-                .push(format!("generated spec failed to compile: {}", e.render(&source, "specgen")));
+            report.failures.push(format!(
+                "generated spec failed to compile: {}",
+                e.render(&source, "specgen")
+            ));
             return report;
         }
     };
@@ -248,9 +259,8 @@ mod tests {
     fn generated_specs_always_compile() {
         for seed in 0..40 {
             let source = generate(seed);
-            compile(&source).unwrap_or_else(|e| {
-                panic!("seed {seed}: {}", e.render(&source, "specgen"))
-            });
+            compile(&source)
+                .unwrap_or_else(|e| panic!("seed {seed}: {}", e.render(&source, "specgen")));
         }
     }
 

@@ -18,11 +18,14 @@
 //! | `sim`    | ✓      | ✓            |          | ✓     |
 //! | `full`   | ✓      | ✓            | ✓        | ✓     |
 //!
-//! plus a `faults` block whenever the spec has a `faults` section.
-//! `search` and `sim` need messages to run over; with an empty
-//! resolved traffic list they degrade to `{"skipped":"no messages"}`.
+//! plus an `existence` block always (the two-sided routability
+//! verdict for the fabric itself) and a `faults` block whenever the
+//! spec has a `faults` section. `search` and `sim` need messages to
+//! run over; with an empty resolved traffic list they degrade to
+//! `{"skipped":"no messages"}`.
 
 use worm_core::classify::{classify_algorithm, AlgorithmVerdict};
+use wormexist::ExistenceReport;
 use wormfault::{reverify, FaultOutcome, FaultRunner, RetryPolicy};
 use wormlint::{LintReport, Registry};
 use wormsearch::{explore, Verdict as SearchVerdict};
@@ -60,10 +63,7 @@ fn obj(fields: &[(&str, String)]) -> String {
         "wormserve/1 object keys must be sorted: {:?}",
         fields.iter().map(|f| f.0).collect::<Vec<_>>()
     );
-    let body: Vec<String> = fields
-        .iter()
-        .map(|(k, v)| format!("\"{k}\":{v}"))
-        .collect();
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
     format!("{{{}}}", body.join(","))
 }
 
@@ -139,7 +139,12 @@ fn search_block(job: &CompiledJob) -> String {
             job.messages.len()
         ));
     }
-    let sim = match Sim::new(job.network(), &job.table, job.messages.clone(), job.capacity) {
+    let sim = match Sim::new(
+        job.network(),
+        &job.table,
+        job.messages.clone(),
+        job.capacity,
+    ) {
         Ok(sim) => sim,
         Err(e) => return obj(&[("error", format!("\"{}\"", esc(&e.to_string())))]),
     };
@@ -159,11 +164,16 @@ fn sim_block(job: &CompiledJob) -> String {
     if job.messages.is_empty() {
         return skipped("no messages");
     }
-    let sim = match Sim::new(job.network(), &job.table, job.messages.clone(), job.capacity) {
+    let sim = match Sim::new(
+        job.network(),
+        &job.table,
+        job.messages.clone(),
+        job.capacity,
+    ) {
         Ok(sim) => sim,
         Err(e) => return obj(&[("error", format!("\"{}\"", esc(&e.to_string())))]),
     };
-    if job.plan.len() == 0 {
+    if job.plan.is_empty() {
         let outcome = Runner::new(&sim, ArbitrationPolicy::LowestId)
             .with_skew(job.skew.clone())
             .run(job.horizon);
@@ -225,13 +235,23 @@ fn sim_block(job: &CompiledJob) -> String {
     }
 }
 
+/// Render an [`ExistenceReport`] with the fixed `wormserve/1` keys.
+fn existence_block(report: &ExistenceReport) -> String {
+    obj(&[
+        ("demands", report.demands.to_string()),
+        ("kind", format!("\"{}\"", report.kind_name())),
+        (
+            "obstruction_channels",
+            report.obstruction_channels().to_string(),
+        ),
+        ("sccs", report.sccs.to_string()),
+        ("verdict", format!("\"{}\"", report.verdict.name())),
+        ("witness_channels", report.witness_channels().to_string()),
+    ])
+}
+
 fn faults_block(job: &CompiledJob) -> String {
-    let report = reverify(
-        job.network(),
-        &job.table,
-        &job.plan,
-        &job.classify_options,
-    );
+    let report = reverify(job.network(), &job.table, &job.plan, &job.classify_options);
     obj(&[
         (
             "baseline",
@@ -241,6 +261,8 @@ fn faults_block(job: &CompiledJob) -> String {
             "degraded",
             format!("\"{}\"", classifier_name(&report.degraded.verdict)),
         ),
+        ("existence", existence_block(&report.degraded.existence)),
+        ("routability", format!("\"{}\"", report.routability.name())),
         ("survives", report.verdict_survives.to_string()),
         (
             "unroutable_pairs",
@@ -260,12 +282,12 @@ pub fn verdict_json(job: &CompiledJob) -> String {
     let lint_report = registry.run(job.network(), &job.table, &job.lint_config);
     let classifier = classify_algorithm(job.network(), &job.table, &job.classify_options);
 
+    let existence = wormexist::analyze(job.network(), &job.exist_options);
+
     let mut fields: Vec<(&str, String)> = vec![
         ("classifier", classifier_block(&classifier)),
-        (
-            "engine",
-            format!("\"{}\"", engine_name(job.engine)),
-        ),
+        ("engine", format!("\"{}\"", engine_name(job.engine))),
+        ("existence", existence_block(&existence)),
     ];
     if job.spec.faults.is_some() {
         fields.push(("faults", faults_block(job)));
@@ -306,9 +328,30 @@ mod tests {
         let v = verdict_json(&job);
         assert!(v.contains("\"schema\":\"wormserve/1\""), "{v}");
         assert!(v.contains("\"verdict\":\"deadlockable\""), "{v}");
-        assert!(v.contains(&format!("\"spec_hash\":\"{}\"", job.hash)), "{v}");
+        assert!(
+            v.contains(&format!("\"spec_hash\":\"{}\"", job.hash)),
+            "{v}"
+        );
         assert!(!v.contains("search"), "{v}");
         assert!(!v.contains("\"sim\""), "{v}");
+        // The single-lane ring fabric is unroutable no matter the table.
+        assert!(
+            v.contains("\"existence\":{\"demands\":12,\"kind\":\"deficiency\""),
+            "{v}"
+        );
+        assert!(v.contains("\"verdict\":\"impossible\""), "{v}");
+    }
+
+    #[test]
+    fn routable_fabrics_carry_an_existence_witness() {
+        let job = compile(
+            "wormspec/1\ntopology { kind = mesh dims = [3, 3] }\nrouting { engine = dimension_order }\n",
+        )
+        .unwrap();
+        let v = verdict_json(&job);
+        assert!(v.contains("\"existence\":{"), "{v}");
+        assert!(v.contains("\"verdict\":\"exists\""), "{v}");
+        assert!(v.contains("\"obstruction_channels\":0"), "{v}");
     }
 
     #[test]
@@ -331,6 +374,9 @@ mod tests {
         assert!(v.contains("\"sim\":{"), "{v}");
         assert!(v.contains("\"faults\":{"), "{v}");
         assert!(v.contains("\"engine\":\"full\""), "{v}");
+        // The faults block reads the degraded fabric: c0 down breaks
+        // the ring cycle, so the surviving routing is free.
+        assert!(v.contains("\"routability\":\"routing-survives\""), "{v}");
     }
 
     #[test]
@@ -352,6 +398,9 @@ mod tests {
         )
         .unwrap();
         let v = verdict_json(&job);
-        assert!(v.contains("\"search\":{\"skipped\":\"no messages\"}"), "{v}");
+        assert!(
+            v.contains("\"search\":{\"skipped\":\"no messages\"}"),
+            "{v}"
+        );
     }
 }

@@ -20,7 +20,12 @@ fn err(code: &'static str, msg: impl Into<String>, span: Span) -> SpecError {
     SpecError::new(code, msg, span)
 }
 
-fn require<'a, T>(slot: &'a Option<T>, key: &str, pattern: PatternKind, at: Span) -> Result<&'a T, SpecError> {
+fn require<'a, T>(
+    slot: &'a Option<T>,
+    key: &str,
+    pattern: PatternKind,
+    at: Span,
+) -> Result<&'a T, SpecError> {
     slot.as_ref().ok_or_else(|| {
         err(
             codes::MISSING,
@@ -44,7 +49,11 @@ pub fn messages_from_spec(
     let net = topo.network();
     let at = t.pattern.span;
     let pattern = t.pattern.value;
-    let length = t.length.as_ref().map(|l| l.value.value as usize).unwrap_or(1);
+    let length = t
+        .length
+        .as_ref()
+        .map(|l| l.value.value as usize)
+        .unwrap_or(1);
     let mut specs = match pattern {
         PatternKind::Uniform => {
             let rate = require(&t.rate, "rate", pattern, at)?;
@@ -115,7 +124,11 @@ pub fn messages_from_spec(
         PatternKind::Hotspot => {
             let hot = require(&t.hotspot, "hotspot", pattern, at)?;
             let node = net.node_by_name(&hot.value).ok_or_else(|| {
-                err(codes::RESOLVE, format!("unknown node \"{}\"", hot.value), hot.span)
+                err(
+                    codes::RESOLVE,
+                    format!("unknown node \"{}\"", hot.value),
+                    hot.span,
+                )
             })?;
             traffic::hotspot(net, node, length)
         }
@@ -123,10 +136,18 @@ pub fn messages_from_spec(
     };
     for m in &t.messages {
         let src = net.node_by_name(&m.src.value).ok_or_else(|| {
-            err(codes::RESOLVE, format!("unknown node \"{}\"", m.src.value), m.src.span)
+            err(
+                codes::RESOLVE,
+                format!("unknown node \"{}\"", m.src.value),
+                m.src.span,
+            )
         })?;
         let dst = net.node_by_name(&m.dst.value).ok_or_else(|| {
-            err(codes::RESOLVE, format!("unknown node \"{}\"", m.dst.value), m.dst.span)
+            err(
+                codes::RESOLVE,
+                format!("unknown node \"{}\"", m.dst.value),
+                m.dst.span,
+            )
         })?;
         if src == dst {
             return Err(err(
@@ -137,7 +158,11 @@ pub fn messages_from_spec(
         }
         let len = m.length.value.value as usize;
         if len == 0 {
-            return Err(err(codes::RANGE, "message length must be at least 1 flit", m.length.span));
+            return Err(err(
+                codes::RANGE,
+                "message length must be at least 1 flit",
+                m.length.span,
+            ));
         }
         let mut spec = MessageSpec::new(src, dst, len);
         if let Some(at_q) = &m.at {
@@ -154,7 +179,11 @@ pub fn skew_from_spec(t: &Traffic, topo: &BuiltTopology) -> Result<SkewModel, Sp
     let mut skew = SkewModel::none(net);
     for p in &t.pauses {
         let node = net.node_by_name(&p.node.value).ok_or_else(|| {
-            err(codes::RESOLVE, format!("unknown node \"{}\"", p.node.value), p.node.span)
+            err(
+                codes::RESOLVE,
+                format!("unknown node \"{}\"", p.node.value),
+                p.node.span,
+            )
         })?;
         if p.period.value.value < 2 {
             return Err(err(
@@ -213,7 +242,8 @@ mod tests {
         assert!(a
             .iter()
             .zip(&b)
-            .all(|(x, y)| (x.src, x.dst, x.length, x.inject_at) == (y.src, y.dst, y.length, y.inject_at)));
+            .all(|(x, y)| (x.src, x.dst, x.length, x.inject_at)
+                == (y.src, y.dst, y.length, y.inject_at)));
     }
 
     #[test]

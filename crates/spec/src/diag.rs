@@ -178,9 +178,16 @@ mod tests {
     #[test]
     fn render_contains_snippet_and_caret() {
         let src = "topology {\n  kind = mersh\n}\n";
-        let err = SpecError::new(codes::ENUM, "unknown topology kind `mersh`", Span::new(20, 25));
+        let err = SpecError::new(
+            codes::ENUM,
+            "unknown topology kind `mersh`",
+            Span::new(20, 25),
+        );
         let rendered = err.render(src, "spec.wspec");
-        assert!(rendered.contains("spec.wspec:2:10: error[E009]"), "{rendered}");
+        assert!(
+            rendered.contains("spec.wspec:2:10: error[E009]"),
+            "{rendered}"
+        );
         assert!(rendered.contains("kind = mersh"), "{rendered}");
         assert!(rendered.contains("^^^^^"), "{rendered}");
     }

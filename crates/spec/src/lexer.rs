@@ -334,7 +334,10 @@ mod tests {
 
     #[test]
     fn string_escapes_resolve() {
-        assert_eq!(kinds(r#""N\"*\\""#), vec![Tok::Str("N\"*\\".into()), Tok::Eof]);
+        assert_eq!(
+            kinds(r#""N\"*\\""#),
+            vec![Tok::Str("N\"*\\".into()), Tok::Eof]
+        );
     }
 
     #[test]

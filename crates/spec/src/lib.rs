@@ -85,6 +85,9 @@ mod tests {
         let src = "wormspec/1\ntopology { kind = mersh }\nrouting { engine = x }\n";
         let err = parse(src).unwrap_err();
         let rendered = err.render(src, "test.wspec");
-        assert!(rendered.starts_with("test.wspec:2:19: error[E009]"), "{rendered}");
+        assert!(
+            rendered.starts_with("test.wspec:2:19: error[E009]"),
+            "{rendered}"
+        );
     }
 }

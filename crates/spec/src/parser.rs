@@ -118,14 +118,20 @@ impl Parser {
                 } else {
                     Err(self.error(
                         codes::UNIT,
-                        format!("missing unit: this quantity is measured in `{}`", unit.keyword()),
+                        format!(
+                            "missing unit: this quantity is measured in `{}`",
+                            unit.keyword()
+                        ),
                         n.span,
                     ))
                 }
             }
             _ => Err(self.error(
                 codes::UNIT,
-                format!("missing unit: this quantity is measured in `{}`", unit.keyword()),
+                format!(
+                    "missing unit: this quantity is measured in `{}`",
+                    unit.keyword()
+                ),
                 n.span,
             )),
         }
@@ -171,7 +177,10 @@ impl Parser {
         let rest = id.value.strip_prefix(prefix).ok_or_else(|| {
             self.error(
                 codes::REF,
-                format!("expected a {what} reference like `{prefix}0`, found `{}`", id.value),
+                format!(
+                    "expected a {what} reference like `{prefix}0`, found `{}`",
+                    id.value
+                ),
                 id.span,
             )
         })?;
@@ -207,14 +216,18 @@ impl Parser {
 
     fn spec(&mut self) -> Result<Spec, SpecError> {
         // Header: `wormspec/1`.
-        self.keyword("wormspec")
-            .map_err(|e| SpecError::new(codes::VERSION, "a spec starts with `wormspec/1`", e.span))?;
+        self.keyword("wormspec").map_err(|e| {
+            SpecError::new(codes::VERSION, "a spec starts with `wormspec/1`", e.span)
+        })?;
         self.expect_tok(Tok::Slash, "`/` in the `wormspec/1` header")?;
         let version = self.int("the version number in `wormspec/1`")?;
         if version.value != 1 {
             return Err(self.error(
                 codes::VERSION,
-                format!("unsupported spec version {} (this reader speaks wormspec/1)", version.value),
+                format!(
+                    "unsupported spec version {} (this reader speaks wormspec/1)",
+                    version.value
+                ),
                 version.span,
             ));
         }
@@ -623,8 +636,13 @@ impl Parser {
                     let from = self.int("the outage start")?;
                     self.expect_tok(Tok::DotDot, "`..` in the outage range")?;
                     let until = self.int("the outage end")?;
-                    self.keyword("cycles")
-                        .map_err(|e| SpecError::new(codes::UNIT, "outage ranges are measured in `cycles`", e.span))?;
+                    self.keyword("cycles").map_err(|e| {
+                        SpecError::new(
+                            codes::UNIT,
+                            "outage ranges are measured in `cycles`",
+                            e.span,
+                        )
+                    })?;
                     f.events.push(FaultDecl::Outage {
                         channel,
                         from,
@@ -757,7 +775,9 @@ impl Parser {
                         other => {
                             return Err(self.error(
                                 codes::ENUM,
-                                format!("unknown SCC engine `{other}` (known: hkmst, pearce_kelly)"),
+                                format!(
+                                    "unknown SCC engine `{other}` (known: hkmst, pearce_kelly)"
+                                ),
                                 id.span,
                             ));
                         }
@@ -803,7 +823,10 @@ impl Parser {
                                 if !ok {
                                     return Err(self.error(
                                         codes::REF,
-                                        format!("malformed lint code `{}` (expected `WNNN`)", code.value),
+                                        format!(
+                                            "malformed lint code `{}` (expected `WNNN`)",
+                                            code.value
+                                        ),
                                         code.span,
                                     ));
                                 }
@@ -934,8 +957,8 @@ mod tests {
         let bad_section = parse("wormspec/1\nnope { }\n").unwrap_err();
         assert_eq!(bad_section.code, codes::UNKNOWN_SECTION);
 
-        let bad_kind = parse("wormspec/1\ntopology { kind = blob }\nrouting { engine = x }\n")
-            .unwrap_err();
+        let bad_kind =
+            parse("wormspec/1\ntopology { kind = blob }\nrouting { engine = x }\n").unwrap_err();
         assert_eq!(bad_kind.code, codes::ENUM);
 
         let bad_key =
@@ -943,17 +966,16 @@ mod tests {
                 .unwrap_err();
         assert_eq!(bad_key.code, codes::UNKNOWN_KEY);
 
-        let dup = parse(
-            "wormspec/1\ntopology { kind = mesh kind = mesh }\nrouting { engine = x }\n",
-        )
-        .unwrap_err();
+        let dup =
+            parse("wormspec/1\ntopology { kind = mesh kind = mesh }\nrouting { engine = x }\n")
+                .unwrap_err();
         assert_eq!(dup.code, codes::DUPLICATE_KEY);
     }
 
     #[test]
     fn version_gate() {
-        let err = parse("wormspec/2\ntopology { kind = mesh }\nrouting { engine = x }\n")
-            .unwrap_err();
+        let err =
+            parse("wormspec/2\ntopology { kind = mesh }\nrouting { engine = x }\n").unwrap_err();
         assert_eq!(err.code, codes::VERSION);
     }
 

@@ -15,6 +15,7 @@
 //! | observability | [`trace`] (`wormtrace`) | zero-dependency counters / gauges / spans behind a global [`trace::Recorder`]; JSON trace reports (`docs/TRACING.md`) |
 //! | resilience | [`fault`] (`wormfault`) | deterministic fault plans (channel outages, router stalls, flit drops, injection jitter) applied through the engine's decision hook, retry/backoff policies, degraded-topology re-verification (`docs/FAULTS.md`) |
 //! | diagnostics | [`lint`] (`wormlint`) | static analysis over routing specs: structural/routing/theorem lints with stable `W`-codes, severities, witness-carrying diagnostics, deterministic `wormlint/1` JSON reports (`docs/LINTS.md`) |
+//! | existence | [`exist`] (`wormexist`) | two-sided static certificates of deadlock-free *routability*: does any acyclic-CDG routing exist on a fabric at all — a replayable witness schedule when one does, a checkable obstruction when none can (`docs/EXISTENCE.md`) |
 //! | specification | [`spec`] (`wormspec`) | the `wormspec/1` scenario language: lexer, recursive-descent parser, typed spanned AST, caret diagnostics with stable `E`-codes, canonical printer and FNV-1a content hash (`docs/SPEC.md`) |
 //! | service | [`serve`] (`wormserve`) | batch verification over specs: bounded job queue + worker pool, content-addressed verdict cache, deterministic `wormserve/1` JSON, spec lifting, differential fuzzing (`docs/SERVICE.md`) |
 //!
@@ -116,6 +117,7 @@
 
 pub use worm_core as core;
 pub use wormcdg as cdg;
+pub use wormexist as exist;
 pub use wormfault as fault;
 pub use wormlint as lint;
 pub use wormnet as net;

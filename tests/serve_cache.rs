@@ -113,8 +113,11 @@ fn fig1_verdict_matches_the_hard_coded_pipeline() {
     // — exactly like the default-options Rust pipeline.
     let searched_src = format!("{}verify {{ engine = search }}\n", fig1_source());
     let searched = compile(&searched_src).expect("fig1+search compiles");
-    let spec_verdict =
-        classify_algorithm(searched.network(), &searched.table, &searched.classify_options);
+    let spec_verdict = classify_algorithm(
+        searched.network(),
+        &searched.table,
+        &searched.classify_options,
+    );
     let rust_verdict = classify_algorithm(&c.net, &c.table, &ClassifyOptions::default());
     assert_eq!(
         classifier_name(&spec_verdict),
@@ -155,7 +158,10 @@ fn perturbed_resubmission_hits_the_cache_bit_identically() {
     .unwrap();
     assert!(server.submit("fig1-rewrite", rewritten));
     let second = server.shutdown();
-    assert!(second[0].cached, "perturbed resubmission must hit the cache");
+    assert!(
+        second[0].cached,
+        "perturbed resubmission must hit the cache"
+    );
     assert_eq!(second[0].hash.as_deref(), Some(first_hash.as_str()));
     assert_eq!(
         second[0].verdict.as_ref().unwrap(),

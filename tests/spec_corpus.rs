@@ -40,7 +40,7 @@ fn spec_path(name: &str) -> PathBuf {
 }
 
 fn maybe_regenerate() {
-    if !std::env::var_os("UPDATE_SPECS").is_some_and(|v| v == "1") {
+    if std::env::var_os("UPDATE_SPECS").is_none_or(|v| v != "1") {
         return;
     }
     for target in corpus() {
@@ -122,7 +122,11 @@ fn committed_specs_are_round_trip_stable() {
         let spec = wormspec::parse(&source).expect("committed spec parses");
         let printed = wormspec::to_spec(&spec);
         let reparsed = wormspec::parse(&printed).expect("canonical text parses");
-        assert_eq!(reparsed, spec, "{}: parse∘print must be identity", target.name);
+        assert_eq!(
+            reparsed, spec,
+            "{}: parse∘print must be identity",
+            target.name
+        );
         assert_eq!(
             wormspec::content_hash_hex(&spec),
             wormspec::content_hash_hex(&reparsed),

@@ -38,7 +38,11 @@ fn perturb(source: &str, seed: u64) -> String {
         if next() % 3 == 0 {
             out.push_str("   ");
         }
-        out.push_str(if next() % 5 == 0 { "  # trailing note\n" } else { "\n" });
+        out.push_str(if next() % 5 == 0 {
+            "  # trailing note\n"
+        } else {
+            "\n"
+        });
     }
     out
 }
@@ -104,8 +108,14 @@ fn hash_ignores_key_order_and_spelled_defaults() {
 
 #[test]
 fn different_scenarios_hash_differently() {
-    let a = wormspec::parse("wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n").unwrap();
-    let b = wormspec::parse("wormspec/1\ntopology { kind = ring nodes = 5 }\nrouting { engine = clockwise_ring }\n").unwrap();
+    let a = wormspec::parse(
+        "wormspec/1\ntopology { kind = ring nodes = 4 }\nrouting { engine = clockwise_ring }\n",
+    )
+    .unwrap();
+    let b = wormspec::parse(
+        "wormspec/1\ntopology { kind = ring nodes = 5 }\nrouting { engine = clockwise_ring }\n",
+    )
+    .unwrap();
     let c = wormspec::parse("wormspec/1\ntopology { kind = ring nodes = 4 vcs = 2 lanes }\nrouting { engine = dateline_ring }\n").unwrap();
     let (ha, hb, hc) = (
         wormspec::content_hash_hex(&a),
